@@ -1,0 +1,18 @@
+"""Ablation A2 — greedy selection strategies and the (1 − 1/e) guarantee.
+
+Expected shape: CELF lazy greedy returns the identical selection with far
+fewer gain evaluations; on a small instance the greedy objective sits
+between (1 − 1/e) and 1.0 of the exact optimum.
+"""
+
+from repro.bench import record_table
+from repro.bench.experiments import ablation_greedy
+
+
+def test_ablation_greedy(benchmark):
+    rows = benchmark.pedantic(ablation_greedy, rounds=1, iterations=1)
+    record_table("Ablation - eager vs CELF greedy; greedy vs exact", rows)
+    row = rows[0]
+    assert row["lazy_evals"] <= row["eager_evals"]
+    assert row["greedy_over_exact"] >= row["guarantee"] - 1e-9
+    assert row["greedy_over_exact"] <= 1.0 + 1e-9

@@ -1,0 +1,70 @@
+"""Extension bench — geo-social MC²LS (the paper's future-work direction).
+
+Sweeps the word-of-mouth weight β and reports how far the geo-social
+selection drifts from the pure spatial one, and what that drift buys
+under the combined objective.  Expected shape: at β = 0 the plans
+coincide; growing β trades a little spatial capture for social reach,
+and the combined value of the geo-social plan dominates the spatial
+plan's at every β.
+"""
+
+from repro.bench import record_table
+from repro.bench.datasets import dataset
+from repro.social import (
+    CascadeSampler,
+    GeoSocialObjective,
+    GeoSocialSolver,
+    geo_social_graph,
+    random_interest_model,
+)
+from repro.solvers import MC2LSProblem
+
+
+def beta_sweep():
+    ds = dataset("N", n_candidates=50, n_facilities=100)
+    graph = geo_social_graph(ds.users, mean_degree=8.0, seed=1)
+    interests = random_interest_model(
+        [u.uid for u in ds.users], [c.fid for c in ds.candidates], seed=1
+    )
+    problem = MC2LSProblem(ds, k=5, tau=0.6)
+    rows = []
+    for beta in (0.0, 0.1, 0.3, 0.6, 1.0):
+        # beta = 0 is run without interests so it must reduce exactly to
+        # the spatial MC2LS plan; the other points use the full model.
+        solver = GeoSocialSolver(
+            graph=graph,
+            interests=None if beta == 0.0 else interests,
+            beta=beta,
+            seed=2,
+        )
+        result = solver.solve(problem)
+        sampler = CascadeSampler(graph, probability=0.1, n_worlds=64, seed=2)
+        objective = GeoSocialObjective(
+            result.spatial_result.table,
+            interests=interests,
+            sampler=sampler,
+            beta=beta,
+        )
+        geo_value = objective.value(list(result.selected))
+        spatial_value = objective.value(list(result.spatial_only))
+        overlap = len(set(result.selected) & set(result.spatial_only))
+        rows.append(
+            {
+                "beta": beta,
+                "geo_social_value": geo_value,
+                "spatial_plan_value": spatial_value,
+                "plan_overlap": f"{overlap}/5",
+                "solve_s": result.timings["total"],
+            }
+        )
+    return rows
+
+
+def test_geosocial_beta_sweep(benchmark):
+    rows = benchmark.pedantic(beta_sweep, rounds=1, iterations=1)
+    record_table("Extension - geo-social beta sweep (N-like)", rows)
+    for row in rows:
+        # The geo-social greedy optimises the combined objective directly,
+        # so it can never lose to the spatial plan under that objective.
+        assert row["geo_social_value"] >= row["spatial_plan_value"] - 1e-9
+    assert rows[0]["plan_overlap"] == "5/5"  # beta = 0 reduces to MC2LS

@@ -1,0 +1,56 @@
+"""Extension bench — Euclidean vs road-network metric.
+
+Sweeps the road density of a grid city and reports how the selection and
+captured demand react.  Expected shape: as the network gets coarser,
+road distances grow, coverage shrinks, and the Euclidean plan scored on
+the roads falls further behind the network-aware plan.
+"""
+
+from repro.bench import record_table
+from repro.bench.datasets import dataset
+from repro.competition import cinf_group
+from repro.roadnet import grid_network, solve_on_network
+from repro.solvers import IQTSolver, MC2LSProblem
+
+
+def density_sweep():
+    ds = dataset("N", n_candidates=40, n_facilities=80).subsample_users(250, seed=1)
+    region = ds.region
+    side = max(region.width, region.height)
+    problem = MC2LSProblem(ds, k=5, tau=0.5)
+    euclid = IQTSolver().solve(problem)
+    rows = []
+    for spacing in (1.0, 2.0, 4.0):
+        network = grid_network(side_km=side, spacing_km=spacing, seed=2)
+        # Anchor the grid onto the dataset region.
+        for node in network.nodes():
+            p = network.position(node)
+            network.add_node(node, p.x + region.min_x, p.y + region.min_y)
+        net = solve_on_network(ds, network, k=5, tau=0.5)
+        euclid_on_roads = cinf_group(net.table, list(euclid.selected))
+        covered = set()
+        for users in net.table.omega_c.values():
+            covered |= users
+        rows.append(
+            {
+                "grid_spacing_km": spacing,
+                "network_plan_value": net.objective,
+                "euclid_plan_on_roads": euclid_on_roads,
+                "candidate_coverage": len(covered),
+                "shared_sites": len(set(net.selected) & set(euclid.selected)),
+                "dijkstra_runs": net.dijkstra_runs,
+            }
+        )
+    return rows
+
+
+def test_roadnet_density_sweep(benchmark):
+    rows = benchmark.pedantic(density_sweep, rounds=1, iterations=1)
+    record_table("Extension - Euclidean vs road-network metric (N-like)", rows)
+    for row in rows:
+        # The network-aware plan can never lose under its own metric.
+        assert row["network_plan_value"] >= row["euclid_plan_on_roads"] - 1e-9
+    # Coarser roads -> longer distances -> fewer reachable users.  (The
+    # *objective* is not monotone: losing competitor overlap raises the
+    # per-user share, which is exactly the competition effect.)
+    assert rows[-1]["candidate_coverage"] <= rows[0]["candidate_coverage"]

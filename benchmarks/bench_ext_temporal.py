@@ -1,0 +1,59 @@
+"""Extension bench — time-aware (site, window) selection.
+
+Expected shape: richer shift menus never reduce captured demand; the
+ALL_DAY-only menu reproduces the base MC²LS greedy exactly; shifted
+windows matched to the demand rhythm recover most of the always-open
+demand at a fraction of the opening hours.
+"""
+
+from repro.bench import record_table
+from repro.bench.datasets import dataset
+from repro.temporal import ALL_DAY, TimeAwareMC2LS, TimeWindow, attach_hours
+
+SHIFTS = [TimeWindow(6, 11), TimeWindow(11, 15), TimeWindow(16, 22)]
+
+
+def menu_sweep():
+    ds = dataset("N", n_candidates=30, n_facilities=60).subsample_users(250, seed=2)
+    timed = attach_hours(ds.users, seed=2)
+    menus = [
+        ("all-day only", [ALL_DAY]),
+        ("single shift", [TimeWindow(11, 15)]),
+        ("three shifts", SHIFTS),
+        ("shifts + all-day", SHIFTS + [ALL_DAY]),
+    ]
+    rows = []
+    for name, menu in menus:
+        result = TimeAwareMC2LS(
+            timed, ds.facilities, ds.candidates, windows=menu, k=5, tau=0.5
+        ).solve()
+        open_hours = sum(p.window.duration for p in result.placements)
+        rows.append(
+            {
+                "menu": name,
+                "captured_demand": result.objective,
+                "total_open_hours": open_hours,
+                "demand_per_open_hour": result.objective / max(open_hours, 1),
+            }
+        )
+    return rows
+
+
+def test_temporal_menu_sweep(benchmark):
+    rows = benchmark.pedantic(menu_sweep, rounds=1, iterations=1)
+    record_table("Extension - time-aware shift menus (N-like)", rows)
+    by_menu = {r["menu"]: r for r in rows}
+    # A superset menu can never capture less demand.
+    assert (
+        by_menu["shifts + all-day"]["captured_demand"]
+        >= by_menu["three shifts"]["captured_demand"] - 1e-9
+    )
+    assert (
+        by_menu["shifts + all-day"]["captured_demand"]
+        >= by_menu["all-day only"]["captured_demand"] - 1e-9
+    )
+    # Shift plans buy far better demand-per-open-hour than always-open.
+    assert (
+        by_menu["three shifts"]["demand_per_open_hour"]
+        > by_menu["all-day only"]["demand_per_open_hour"]
+    )

@@ -1,0 +1,42 @@
+"""Fig. 7 — effect of the IS and NIR pruning rules.
+
+(a) fraction of (facility, user) pairs decided by each rule per τ;
+(b) pruning effect and runtime of IQT-C vs IQT vs IQT-PINO per τ.
+
+Expected shape (paper §VII-B): NIR dominates IS on the uniform C-like
+data (>90 % pruned); IS strengthens and NIR weakens on the dense, skewed
+N-like data; rising τ weakens IS and strengthens NIR; NIB (IQT over
+IQT-C) only pays off under skew.
+"""
+
+from repro.bench import record_table
+from repro.bench.experiments import fig07a_rule_effect, fig07b_variant_effect
+
+
+def test_fig07a_rule_effect(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig07a_rule_effect("C") + fig07a_rule_effect("N"),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Fig 7a - IS vs NIR pruning effect per tau", rows)
+    for row in rows:
+        assert 0 <= row["IS_confirmed_frac"] <= 1
+        assert 0 <= row["NIR_pruned_frac"] <= 1
+    # NIR dominates IS on the uniform dataset (paper: >90 % vs small).
+    c_rows = [r for r in rows if r["dataset"] == "C"]
+    assert all(r["NIR_pruned_frac"] > r["IS_confirmed_frac"] for r in c_rows)
+
+
+def test_fig07b_variant_effect(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig07b_variant_effect("C") + fig07b_variant_effect("N"),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Fig 7b - IQT-C vs IQT vs IQT-PINO pruning effect per tau", rows)
+    for row in rows:
+        # Adding NIB (IQT) can only decide at least as many pairs as IQT-C,
+        # and adding IA (IQT-PINO) at least as many as IQT.
+        assert row["iqt_saved_frac"] >= row["iqt-c_saved_frac"] - 1e-9
+        assert row["iqt-pino_saved_frac"] >= row["iqt_saved_frac"] - 1e-9

@@ -1,0 +1,22 @@
+"""Fig. 8 — the new IS/NIR rules against the classical IA/NIB rules.
+
+Expected shape (paper §VII-B): IS confirms more pairs than IA; NIR prunes
+more than NIB on the uniform C-like data, while NIB closes the gap (or
+slightly wins) on the skewed N-like data.
+"""
+
+from repro.bench import record_table
+from repro.bench.experiments import fig08_rule_comparison
+
+
+def test_fig08_rule_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig08_rule_comparison("C") + fig08_rule_comparison("N"),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Fig 8 - IS vs IA and NIR vs NIB pair fractions", rows)
+    c_rows = [r for r in rows if r["dataset"] == "C"]
+    # On uniform data the user-pruning rules dominate their classical
+    # facility-pruning counterparts.
+    assert sum(r["NIR_pruned"] for r in c_rows) > sum(r["NIB_pruned"] for r in c_rows) * 0.9

@@ -1,0 +1,28 @@
+"""Fig. 10 — runtime of the four algorithms as |Ω| grows.
+
+Expected shape: every algorithm scales with the user count; the
+linear-scan Baseline is slowest by an order of magnitude or more; the
+IQT family leads on the C-like data, with k-CIFP between them and
+Baseline.
+"""
+
+from repro.bench import record_table
+from repro.bench.svg_charts import save_runtime_figure
+from repro.bench.experiments import fig10_vary_users
+
+
+def test_fig10_vary_users_california(benchmark):
+    rows = benchmark.pedantic(lambda: fig10_vary_users("C"), rounds=1, iterations=1)
+    record_table("Fig 10 - runtime vs users (C-like)", rows)
+    save_runtime_figure(rows, "users", "Fig 10 - runtime vs users (C-like)", "Fig_10_C.svg")
+    top = rows[-1]  # largest population
+    assert top["baseline_s"] > 5 * top["iqt_s"]
+    assert top["baseline_s"] > top["k-cifp_s"]
+
+
+def test_fig10_vary_users_newyork(benchmark):
+    rows = benchmark.pedantic(lambda: fig10_vary_users("N"), rounds=1, iterations=1)
+    record_table("Fig 10 - runtime vs users (N-like)", rows)
+    save_runtime_figure(rows, "users", "Fig 10 - runtime vs users (N-like)", "Fig_10_N.svg")
+    top = rows[-1]
+    assert top["baseline_s"] > top["iqt_s"]

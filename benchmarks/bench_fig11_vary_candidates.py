@@ -1,0 +1,28 @@
+"""Fig. 11 — runtime as the candidate set |C| sweeps 100 → 500.
+
+Expected shape: the IQT family's batch-wise traversal absorbs extra
+candidates cheaply (memoised leaves), so its lead over k-CIFP widens
+with |C|; Baseline grows linearly and stays slowest.
+"""
+
+from repro.bench import record_table
+from repro.bench.svg_charts import save_runtime_figure
+from repro.bench.experiments import fig11_vary_candidates
+
+
+def test_fig11_vary_candidates_california(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig11_vary_candidates("C"), rounds=1, iterations=1
+    )
+    record_table("Fig 11 - runtime vs candidates (C-like)", rows)
+    save_runtime_figure(rows, "candidates", "Fig 11 - runtime vs candidates (C-like)", "Fig_11_C.svg")
+    assert rows[-1]["baseline_s"] > rows[-1]["iqt_s"]
+
+
+def test_fig11_vary_candidates_newyork(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig11_vary_candidates("N"), rounds=1, iterations=1
+    )
+    record_table("Fig 11 - runtime vs candidates (N-like)", rows)
+    save_runtime_figure(rows, "candidates", "Fig 11 - runtime vs candidates (N-like)", "Fig_11_N.svg")
+    assert rows[-1]["baseline_s"] > rows[-1]["iqt_s"]

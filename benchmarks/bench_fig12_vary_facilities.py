@@ -1,0 +1,28 @@
+"""Fig. 12 — runtime as the competitor set |F| sweeps 100 → 500.
+
+Expected shape: qualitatively the Fig. 11 picture (IQT best, then IQT-C,
+k-CIFP, Baseline) with smoother growth, because competitor relationships
+are only resolved for users some candidate can reach.
+"""
+
+from repro.bench import record_table
+from repro.bench.svg_charts import save_runtime_figure
+from repro.bench.experiments import fig12_vary_facilities
+
+
+def test_fig12_vary_facilities_california(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig12_vary_facilities("C"), rounds=1, iterations=1
+    )
+    record_table("Fig 12 - runtime vs facilities (C-like)", rows)
+    save_runtime_figure(rows, "facilities", "Fig 12 - runtime vs facilities (C-like)", "Fig_12_C.svg")
+    assert rows[-1]["baseline_s"] > rows[-1]["iqt_s"]
+
+
+def test_fig12_vary_facilities_newyork(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig12_vary_facilities("N"), rounds=1, iterations=1
+    )
+    record_table("Fig 12 - runtime vs facilities (N-like)", rows)
+    save_runtime_figure(rows, "facilities", "Fig 12 - runtime vs facilities (N-like)", "Fig_12_N.svg")
+    assert rows[-1]["baseline_s"] > rows[-1]["iqt_s"]

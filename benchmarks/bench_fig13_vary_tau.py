@@ -1,0 +1,29 @@
+"""Fig. 13 — runtime as the probability threshold τ sweeps 0.1 → 0.9.
+
+Expected shape: Baseline is flat in τ (it always evaluates everything);
+k-CIFP accelerates as τ rises (shrinking mMR tightens IA/NIB); the IQT
+family is dataset-dependent (rising τ strengthens NIR but weakens IS).
+"""
+
+import statistics
+
+from repro.bench import record_table
+from repro.bench.svg_charts import save_runtime_figure
+from repro.bench.experiments import fig13_vary_tau
+
+
+def test_fig13_vary_tau_california(benchmark):
+    rows = benchmark.pedantic(lambda: fig13_vary_tau("C"), rounds=1, iterations=1)
+    record_table("Fig 13 - runtime vs tau (C-like)", rows)
+    save_runtime_figure(rows, "tau", "Fig 13 - runtime vs tau (C-like)", "Fig_13_C.svg")
+    base = [r["baseline_s"] for r in rows]
+    # Baseline is roughly flat across tau (its cost does not depend on it).
+    assert max(base) < 2.5 * min(base)
+
+
+def test_fig13_vary_tau_newyork(benchmark):
+    rows = benchmark.pedantic(lambda: fig13_vary_tau("N"), rounds=1, iterations=1)
+    record_table("Fig 13 - runtime vs tau (N-like)", rows)
+    save_runtime_figure(rows, "tau", "Fig 13 - runtime vs tau (N-like)", "Fig_13_N.svg")
+    # IQT beats Baseline at every tau.
+    assert all(r["iqt_s"] < r["baseline_s"] for r in rows)

@@ -1,0 +1,27 @@
+"""Fig. 14 — runtime as the budget k sweeps 5 → 25.
+
+Expected shape: runtimes are nearly flat in k (influence resolution
+dominates; the greedy overlap handling is negligible), and every
+algorithm returns the identical k-set at every point — the sweep helper
+asserts that agreement internally.
+"""
+
+from repro.bench import record_table
+from repro.bench.svg_charts import save_runtime_figure
+from repro.bench.experiments import fig14_vary_k
+
+
+def test_fig14_vary_k_california(benchmark):
+    rows = benchmark.pedantic(lambda: fig14_vary_k("C"), rounds=1, iterations=1)
+    record_table("Fig 14 - runtime vs k (C-like)", rows)
+    save_runtime_figure(rows, "k", "Fig 14 - runtime vs k (C-like)", "Fig_14_C.svg")
+    iqt = [r["iqt_s"] for r in rows]
+    assert max(iqt) < 3 * min(iqt)  # near-constant in k
+
+
+def test_fig14_vary_k_newyork(benchmark):
+    rows = benchmark.pedantic(lambda: fig14_vary_k("N"), rounds=1, iterations=1)
+    record_table("Fig 14 - runtime vs k (N-like)", rows)
+    save_runtime_figure(rows, "k", "Fig 14 - runtime vs k (N-like)", "Fig_14_N.svg")
+    iqt = [r["iqt_s"] for r in rows]
+    assert max(iqt) < 3 * min(iqt)

@@ -1,0 +1,16 @@
+"""Fig. 16 — effect of the position count r on the N-like data.
+
+As Fig. 15 but on the skewed dataset, where far fewer users clear the
+30-position eligibility bar (the paper keeps only 233 of 2,725) and the
+pruning advantage is correspondingly noisier.
+"""
+
+from repro.bench import record_table
+from repro.bench.experiments import fig15_16_vary_r
+
+
+def test_fig16_vary_r_newyork(benchmark):
+    rows = benchmark.pedantic(lambda: fig15_16_vary_r("N"), rounds=1, iterations=1)
+    record_table("Fig 16 - runtime and verification cost vs r (N-like)", rows)
+    for row in rows:
+        assert row["iqt_pos_touched"] < row["baseline_pos_touched"]

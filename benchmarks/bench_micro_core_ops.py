@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the core operations behind every experiment.
+
+These give pytest-benchmark stable, repeatable timings for the building
+blocks (index construction, traversal, range query, influence check), so
+regressions in any substrate are visible independently of the end-to-end
+figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import DEFAULT_D_HAT, DEFAULT_TAU, dataset
+from repro.geo import Rect
+from repro.influence import InfluenceEvaluator, paper_default_pf
+from repro.spatial import IQuadTree, RTree
+
+
+@pytest.fixture(scope="module")
+def c_dataset():
+    return dataset("C")
+
+
+@pytest.fixture(scope="module")
+def iqt(c_dataset):
+    return IQuadTree(
+        c_dataset.users, DEFAULT_D_HAT, DEFAULT_TAU, paper_default_pf(), c_dataset.region
+    )
+
+
+def test_iquadtree_traversal(benchmark, c_dataset, iqt):
+    facilities = c_dataset.abstract_facilities
+
+    def traverse_all():
+        for v in facilities:
+            iqt.traverse(v.x, v.y)
+
+    benchmark(traverse_all)
+
+
+def test_rtree_range_query(benchmark, c_dataset):
+    tree = RTree.from_points((v.location, v) for v in c_dataset.abstract_facilities)
+    region = c_dataset.region
+    queries = [
+        Rect(
+            region.min_x + i * region.width / 32,
+            region.min_y + i * region.height / 32,
+            region.min_x + i * region.width / 32 + 10,
+            region.min_y + i * region.height / 32 + 10,
+        )
+        for i in range(32)
+    ]
+
+    def run_queries():
+        return sum(len(tree.range_query(q)) for q in queries)
+
+    benchmark(run_queries)
+
+
+def test_influence_evaluation(benchmark, c_dataset):
+    ev = InfluenceEvaluator(paper_default_pf(), DEFAULT_TAU)
+    users = c_dataset.users[:200]
+    v = c_dataset.candidates[0]
+
+    def evaluate():
+        return sum(ev.influences(v.x, v.y, u.positions) for u in users)
+
+    benchmark(evaluate)
+
+
+def test_greedy_phase(benchmark, c_dataset):
+    from repro.solvers import IQTSolver, MC2LSProblem, greedy_select
+
+    problem = MC2LSProblem(c_dataset, k=10, tau=DEFAULT_TAU)
+    result = IQTSolver().solve(problem)
+    cids = [c.fid for c in c_dataset.candidates]
+
+    def select():
+        return greedy_select(result.table, cids, 10)
+
+    benchmark(select)

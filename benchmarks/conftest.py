@@ -1,0 +1,25 @@
+"""Benchmark suite configuration.
+
+Each ``bench_*.py`` file reproduces one table or figure of the paper: it
+times a headline operation with pytest-benchmark and registers the full
+row/series table via :func:`repro.bench.record_table`.  This conftest
+replays all registered tables in the terminal summary, so a plain
+``pytest benchmarks/ --benchmark-only`` run shows every reproduced
+artifact without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import registered_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = registered_tables()
+    if not tables:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for title, rendered in tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {title} ==")
+        for line in rendered.splitlines():
+            terminalreporter.write_line(line)

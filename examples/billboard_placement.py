@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Billboard placement over commuter trajectories.
+
+The CLS literature the paper builds on (Zhang et al., KDD'18/'20) selects
+billboard sites that collectively reach the most commuters.  This example
+synthesises home→work commuters whose recorded positions trace their
+daily routes, an incumbent advertiser's existing billboards, and a
+candidate pool along the arterials — then sizes the budget: how does the
+captured audience grow with k, and when does a bigger budget stop paying?
+
+Run:  python examples/billboard_placement.py
+"""
+
+import numpy as np
+
+from repro import IQTSolver, MC2LSProblem, MovingUser, SpatialDataset, candidate, existing
+
+
+def commuter(uid: int, rng: np.random.Generator, side: float) -> MovingUser:
+    """A commuter with positions sampled along a home→work corridor."""
+    home = rng.uniform(0.1 * side, 0.9 * side, size=2)
+    work = rng.uniform(0.1 * side, 0.9 * side, size=2)
+    n_pings = int(rng.integers(8, 25))
+    # Positions concentrate near the endpoints (dwell time) with the rest
+    # spread along the commute path.
+    t = np.clip(rng.beta(0.4, 0.4, size=n_pings), 0.0, 1.0)
+    points = home[None, :] + t[:, None] * (work - home)[None, :]
+    points += rng.normal(0.0, 0.3, size=points.shape)  # GPS noise / detours
+    return MovingUser(uid, np.clip(points, 0.0, side))
+
+
+def build_city(seed: int = 3, side: float = 30.0) -> SpatialDataset:
+    rng = np.random.default_rng(seed)
+    users = [commuter(uid, rng, side) for uid in range(400)]
+    # Arterial grid: candidate billboards sit along major roads.
+    arterials = np.linspace(0.15 * side, 0.85 * side, 5)
+    candidates = []
+    fid = 0
+    for a in arterials:
+        for pos in np.linspace(0.1 * side, 0.9 * side, 8):
+            jitter = rng.normal(0, 0.2, size=2)
+            if fid % 2 == 0:
+                candidates.append(candidate(fid, a + jitter[0], pos + jitter[1]))
+            else:
+                candidates.append(candidate(fid, pos + jitter[0], a + jitter[1]))
+            fid += 1
+    # The incumbent advertiser already covers some prime spots.
+    incumbents = [
+        existing(i, *rng.uniform(0.2 * side, 0.8 * side, size=2)) for i in range(30)
+    ]
+    return SpatialDataset.build(users, incumbents, candidates, name="commuter-city")
+
+
+def main() -> None:
+    dataset = build_city()
+    print(dataset.describe())
+    print(f"candidate billboards: {len(dataset.candidates)}; incumbent boards: "
+          f"{len(dataset.facilities)}")
+
+    print("\nbudget sizing — captured audience vs k (evenly-split shares):")
+    print(f"{'k':>3}  {'cinf(G)':>9}  {'marginal gain':>13}  selected this round")
+    solver = IQTSolver(d_hat=1.5)
+    result = solver.solve(MC2LSProblem(dataset, k=12, tau=0.6))
+    running = 0.0
+    for round_no, (site, gain) in enumerate(zip(result.selected, result.gains), 1):
+        running += gain
+        print(f"{round_no:>3}  {running:>9.2f}  {gain:>13.3f}  billboard #{site}")
+
+    # Where does the next billboard stop paying for itself?  Diminishing
+    # returns are guaranteed (submodularity) — find the knee at 20 % of the
+    # first gain.
+    threshold = result.gains[0] * 0.2
+    knee = next(
+        (i + 1 for i, g in enumerate(result.gains) if g < threshold),
+        len(result.gains),
+    )
+    print(
+        f"\nmarginal gain falls below 20% of the first site's gain at k = {knee}; "
+        "beyond that the budget is better spent elsewhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

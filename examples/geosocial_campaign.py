@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Geo-social store opening — the paper's future-work extension in action.
+
+A fashion brand opens k stores in a clustered city.  Beyond the spatial
+MC²LS objective, the brand cares about (a) whether nearby users are
+actually interested in its category and (b) word-of-mouth: captured
+customers talk to friends, and friendships decay with distance.  This
+example compares the pure spatial plan against the geo-social plan and
+quantifies the gap under the combined objective.
+
+Run:  python examples/geosocial_campaign.py
+"""
+
+from repro import MC2LSProblem
+from repro.data import new_york_like
+from repro.social import (
+    CascadeSampler,
+    GeoSocialObjective,
+    GeoSocialSolver,
+    geo_social_graph,
+    random_interest_model,
+    simulate_cascade,
+)
+
+import numpy as np
+
+
+def main() -> None:
+    dataset = new_york_like(n_users=400, n_candidates=50, n_facilities=100, seed=21)
+    print(dataset.describe())
+
+    graph = geo_social_graph(dataset.users, mean_degree=8.0, scale_km=4.0, seed=3)
+    print(f"social graph: {len(graph)} users, {graph.n_edges} friendships, "
+          f"mean degree {graph.mean_degree():.1f}")
+
+    interests = random_interest_model(
+        [u.uid for u in dataset.users],
+        [c.fid for c in dataset.candidates],
+        n_topics=6,
+        concentration=0.4,
+        seed=3,
+    )
+
+    problem = MC2LSProblem(dataset, k=5, tau=0.6)
+    solver = GeoSocialSolver(
+        graph=graph, interests=interests, beta=0.3, edge_probability=0.15, seed=4
+    )
+    result = solver.solve(problem)
+
+    print(f"\nspatial-only plan : {sorted(result.spatial_only)}")
+    print(f"geo-social plan   : {sorted(result.selected)}")
+
+    # Score BOTH plans under the full geo-social objective.
+    sampler = CascadeSampler(graph, probability=0.15, n_worlds=64, seed=4)
+    objective = GeoSocialObjective(
+        result.spatial_result.table, interests=interests, sampler=sampler, beta=0.3
+    )
+    geo_value = objective.value(list(result.selected))
+    spatial_value = objective.value(list(result.spatial_only))
+    print(f"\ncombined objective (capture x interest + 0.3 x word-of-mouth):")
+    print(f"  geo-social plan   : {geo_value:.2f}")
+    print(f"  spatial-only plan : {spatial_value:.2f}")
+    if spatial_value > 0:
+        print(f"  -> geo-social planning adds {100 * (geo_value / spatial_value - 1):.1f}%")
+
+    # What does one plausible launch week look like?  Simulate a cascade
+    # from the users the selected stores capture.
+    captured = objective.covered(list(result.selected))
+    rng = np.random.default_rng(7)
+    waves = [len(simulate_cascade(graph, captured, probability=0.15, rng=rng))
+             for _ in range(5)]
+    print(f"\ncaptured users: {len(captured)}; simulated reach incl. word of mouth: "
+          f"{waves} (five runs)")
+
+
+if __name__ == "__main__":
+    main()

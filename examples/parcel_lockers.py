@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Capacitated parcel-locker placement.
+
+Parcel lockers saturate: one bank of lockers serves only so many
+households.  This example places k locker banks in a clustered city
+under a per-site capacity, shows how tightening the capacity pushes the
+plan from "dominate the densest cluster" to "spread across clusters",
+and reports the realised serving assignment.
+
+Run:  python examples/parcel_lockers.py
+"""
+
+from repro import MC2LSProblem
+from repro.data import new_york_like
+from repro.solvers import CapacitatedGreedySolver, IQTSolver
+
+
+def main() -> None:
+    dataset = new_york_like(n_users=350, n_candidates=40, n_facilities=60, seed=29)
+    print(dataset.describe())
+    problem = MC2LSProblem(dataset, k=4, tau=0.5)
+
+    uncapped = IQTSolver().solve(problem)
+    print(f"\nuncapacitated plan : {sorted(uncapped.selected)} "
+          f"(captures {uncapped.objective:.2f})")
+
+    print(f"\n{'capacity':>9}  {'served value':>12}  {'plan':<30} overlap")
+    for capacity in (100, 20, 8, 3):
+        solver = CapacitatedGreedySolver(capacity=capacity)
+        outcome = solver.outcome_details(problem)
+        overlap = len(set(outcome.selected) & set(uncapped.selected))
+        print(f"{capacity:>9}  {outcome.objective:>12.2f}  "
+              f"{str(sorted(outcome.selected)):<30} {overlap}/4")
+
+    solver = CapacitatedGreedySolver(capacity=8)
+    outcome = solver.outcome_details(problem)
+    print("\nserving assignment at capacity 8:")
+    for cid in outcome.selected:
+        uids = outcome.assignment[cid]
+        print(f"  locker bank {cid:>3}: serves {len(uids)} households")
+    print("\nTight capacity moves banks out of the saturated core — the "
+          "classic capacitated-facility effect.")
+
+
+if __name__ == "__main__":
+    main()

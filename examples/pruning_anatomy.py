@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Anatomy of the pruning rules — why the IQuad-tree wins.
+
+Walks through the paper's §V machinery on a uniform (California-like)
+and a skewed (New-York-like) population:
+
+1. the mMR / η duality that converts the influence threshold into a
+   position-count threshold,
+2. per-rule pruning power (IS vs IA, NIR vs NIB) on both datasets,
+3. the end-to-end effect on solver runtimes.
+
+Run:  python examples/pruning_anatomy.py
+"""
+
+from repro import AdaptedKCIFPSolver, BaselineGreedySolver, IQTSolver, MC2LSProblem
+from repro.data import california_like, new_york_like
+from repro.influence import (
+    min_max_radius,
+    paper_default_pf,
+    position_count_threshold,
+)
+from repro.pruning import measure_iquadtree_pruning, measure_pinocchio_pruning
+
+
+def show_duality() -> None:
+    pf = paper_default_pf()
+    print("mMR / eta duality  (PF(d) = 1 / (1 + e^d), tau = 0.7)")
+    print(f"{'r':>4}  {'mMR(0.7, r) km':>15}  {'eta(0.7, PF, mMR)':>18}")
+    for r in (2, 5, 10, 20, 40):
+        d = min_max_radius(0.7, r, pf)
+        eta = position_count_threshold(0.7, pf, d) if d > 0 else float("nan")
+        print(f"{r:>4}  {d:>15.3f}  {eta:>18.3f}")
+    print("-> eta recovers r exactly: the two thresholds are inverses.\n")
+
+
+def show_rule_power() -> None:
+    pf = paper_default_pf()
+    print("pair-level pruning power at tau = 0.7")
+    header = f"{'dataset':>9} {'IS conf':>9} {'IA conf':>9} {'NIR pruned':>11} {'NIB pruned':>11}"
+    print(header)
+    for name, ds in [
+        ("C-like", california_like(n_users=500, seed=1)),
+        ("N-like", new_york_like(n_users=400, seed=1)),
+    ]:
+        iq, _ = measure_iquadtree_pruning(
+            ds.users, ds.abstract_facilities, 0.7, pf, 2.0, ds.region
+        )
+        pino = measure_pinocchio_pruning(ds.users, ds.abstract_facilities, 0.7, pf)
+        print(
+            f"{name:>9} {iq.confirmed_fraction:>9.2%} {pino.confirmed_fraction:>9.2%} "
+            f"{iq.pruned_fraction:>11.2%} {pino.pruned_fraction:>11.2%}"
+        )
+    print("-> user-pruning (IS/NIR) decides most pairs on uniform data;\n"
+          "   the facility-pruning rules catch up only under heavy skew.\n")
+
+
+def show_runtimes() -> None:
+    print("end-to-end solver comparison (k = 5, tau = 0.7)")
+    for name, ds in [
+        ("C-like", california_like(n_users=800, seed=2)),
+        ("N-like", new_york_like(n_users=400, seed=2)),
+    ]:
+        problem = MC2LSProblem(ds, k=5, tau=0.7)
+        print(f"  {name}:")
+        reference = None
+        for solver in [BaselineGreedySolver(), AdaptedKCIFPSolver(), IQTSolver()]:
+            result = solver.solve(problem)
+            if reference is None:
+                reference = result.selected
+            assert result.selected == reference
+            print(
+                f"    {solver.name:<9} {result.total_time * 1e3:>8.1f} ms "
+                f"({result.evaluation.total_evaluations} exact probability checks)"
+            )
+
+
+def main() -> None:
+    show_duality()
+    show_rule_power()
+    show_runtimes()
+
+
+if __name__ == "__main__":
+    main()

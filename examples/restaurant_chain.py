@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Restaurant-chain expansion in competition — the paper's Example 1.
+
+Part 1 reconstructs the motivating toy instance of Fig. 1 exactly: three
+candidate sites, four moving users and two existing competitor
+restaurants, showing how the competitors flip the optimal pair from a
+tie between {c1, c2} and {c1, c3} to a clear win for {c1, c3}.
+
+Part 2 scales the same story up: a synthetic city with clustered
+residents and an incumbent chain, where we compare the expansion plan a
+competition-blind model would pick against the competition-aware MC²LS
+plan.
+
+Run:  python examples/restaurant_chain.py
+"""
+
+import numpy as np
+
+from repro import MC2LSProblem, IQTSolver, cinf_group
+from repro.competition import InfluenceTable
+from repro.data import new_york_like
+from repro.solvers import greedy_select
+
+
+def paper_example() -> None:
+    """Fig. 1 / Examples 1, 3 and 4, reproduced from its influence sets."""
+    print("=" * 64)
+    print("Part 1 — the paper's Fig. 1 toy instance")
+    print("=" * 64)
+    # Influence relationships as stated in Example 1:
+    #   c1 -> {o1, o2}, c2 -> {o2, o4}, c3 -> {o1, o3};
+    #   competitors f1 -> {o1, o2}, f2 -> {o2, o4}.
+    table = InfluenceTable.from_mappings(
+        omega_c={1: {1, 2}, 2: {2, 4}, 3: {1, 3}},
+        f_o={1: {1}, 2: {1, 2}, 3: set(), 4: {2}},
+    )
+    no_competition = InfluenceTable.from_mappings(
+        omega_c=table.omega_c, f_o={uid: set() for uid in (1, 2, 3, 4)}
+    )
+
+    for label, t in [("without competitors", no_competition), ("with competitors", table)]:
+        v12 = cinf_group(t, [1, 2])
+        v13 = cinf_group(t, [1, 3])
+        print(f"\n{label}:")
+        print(f"  cinf({{c1, c2}}) = {v12:.4f}")
+        print(f"  cinf({{c1, c3}}) = {v13:.4f}")
+    print(
+        "\nCompetition breaks the tie: c3 monopolises o3 and shores up o1, "
+        "so {c1, c3} wins (Example 3: 11/6 > 4/3)."
+    )
+    outcome = greedy_select(table, [1, 2, 3], k=2)
+    print(f"Greedy selection order: {list(outcome.selected)} (Example 4 picks c3 then c2)")
+
+
+def city_expansion() -> None:
+    print()
+    print("=" * 64)
+    print("Part 2 — expanding into a city with an incumbent chain")
+    print("=" * 64)
+    dataset = new_york_like(n_users=500, n_candidates=60, n_facilities=120, seed=11)
+    print(dataset.describe())
+
+    # Competition-aware plan (MC2LS).
+    problem = MC2LSProblem(dataset, k=6, tau=0.7)
+    aware = IQTSolver().solve(problem)
+
+    # Competition-blind plan: same instance with the incumbents removed
+    # (this is what a traditional CLS model like k-CIFP optimises).
+    blind_dataset = dataset.with_facilities([])
+    blind = IQTSolver().solve(MC2LSProblem(blind_dataset, k=6, tau=0.7))
+
+    # Evaluate BOTH plans under the true competitive market.
+    aware_value = cinf_group(aware.table, aware.selected)
+    blind_value = cinf_group(aware.table, blind.selected)
+
+    print(f"\ncompetition-aware plan : sites {sorted(aware.selected)}")
+    print(f"competition-blind plan : sites {sorted(blind.selected)}")
+    print(f"\nmarket share captured (evenly-split model, with incumbents):")
+    print(f"  aware plan : {aware_value:.2f} users' worth of demand")
+    print(f"  blind plan : {blind_value:.2f} users' worth of demand")
+    if aware_value > blind_value:
+        lift = (aware_value - blind_value) / blind_value * 100
+        print(f"  -> modelling the competitors lifts captured demand by {lift:.1f}%")
+    else:
+        print("  -> plans coincide on this instance (incumbents spatially neutral)")
+
+
+def main() -> None:
+    np.random.seed(0)
+    paper_example()
+    city_expansion()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Euclidean vs road-network site selection.
+
+Straight-line distance flatters sites across rivers and rail corridors.
+This example builds a Manhattan-style grid city with a closed corridor
+(dropped road segments), selects store sites under both metrics, and
+shows where — and how much — the straight-line model misjudges the
+market.
+
+Run:  python examples/road_network_city.py
+"""
+
+import numpy as np
+
+from repro import IQTSolver, MC2LSProblem, MovingUser, SpatialDataset, candidate, existing
+from repro.competition import cinf_group
+from repro.roadnet import grid_network, solve_on_network
+
+
+def build_city(seed: int = 8, side: float = 12.0) -> SpatialDataset:
+    rng = np.random.default_rng(seed)
+    users = []
+    for uid in range(250):
+        home = rng.uniform(1, side - 1, 2)
+        n_venues = max(1, int(rng.poisson(3)))
+        venues = home + rng.normal(0, 1.2, size=(n_venues, 2))
+        prefs = rng.dirichlet(np.full(n_venues, 0.8))
+        visits = rng.choice(n_venues, size=int(rng.integers(5, 18)), p=prefs)
+        positions = venues[visits] + rng.normal(0, 0.1, size=(len(visits), 2))
+        users.append(MovingUser(uid, np.clip(positions, 0, side)))
+    cands = [candidate(i, *rng.uniform(1, side - 1, 2)) for i in range(30)]
+    facs = [existing(i, *rng.uniform(1, side - 1, 2)) for i in range(40)]
+    return SpatialDataset.build(users, facs, cands, name="grid-city")
+
+
+def main() -> None:
+    dataset = build_city()
+    print(dataset.describe())
+
+    # A street grid with 25 % of segments closed (river, rail, one-ways).
+    network = grid_network(side_km=12, spacing_km=0.75, drop_fraction=0.25, seed=8)
+    print(f"road network: {len(network)} intersections, {network.n_edges} segments")
+
+    problem = MC2LSProblem(dataset, k=5, tau=0.5)
+    euclid = IQTSolver().solve(problem)
+    net = solve_on_network(dataset, network, k=5, tau=0.5)
+
+    print(f"\nEuclidean plan : {sorted(euclid.selected)}  "
+          f"(objective {euclid.objective:.2f} under straight-line reach)")
+    print(f"network plan   : {sorted(net.selected)}  "
+          f"(objective {net.objective:.2f} under road reach)")
+
+    # Judge the Euclidean plan by what it ACTUALLY captures on the roads.
+    euclid_on_roads = cinf_group(net.table, list(euclid.selected))
+    print(f"\nscored on the road network:")
+    print(f"  network plan    : {net.objective:.2f}")
+    print(f"  Euclidean plan  : {euclid_on_roads:.2f}")
+    if net.objective > euclid_on_roads:
+        gap = 100 * (net.objective / max(euclid_on_roads, 1e-9) - 1)
+        print(f"  -> ignoring the street grid costs {gap:.1f}% of captured demand")
+    overlap = set(euclid.selected) & set(net.selected)
+    print(f"\nplans share {len(overlap)}/5 sites; network distances moved "
+          f"{5 - len(overlap)} of them.")
+
+
+if __name__ == "__main__":
+    main()

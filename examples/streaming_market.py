@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A live market: users churn, the optimal portfolio drifts.
+
+Simulates twelve "weeks" over a skewed city.  Each week a slice of the
+population churns out and new users arrive (with a slow drift of the
+arrival hot spot).  The streaming session keeps the influence
+relationships exact through every event, so the k-site portfolio can be
+re-derived instantly — and we can watch when and how the optimal site
+set actually changes.
+
+Run:  python examples/streaming_market.py
+"""
+
+import numpy as np
+
+from repro.data import new_york_like
+from repro.entities import MovingUser
+from repro.streaming import StreamingMC2LS
+
+
+def main() -> None:
+    dataset = new_york_like(n_users=350, n_candidates=40, n_facilities=80, seed=13)
+    print(dataset.describe())
+    session = StreamingMC2LS.from_dataset(dataset, k=5, tau=0.6)
+
+    rng = np.random.default_rng(99)
+    region = dataset.region
+    next_uid = 10_000
+    drift = np.array([region.min_x + 5.0, region.min_y + 5.0])
+
+    print(f"\n{'week':>5}  {'users':>6}  {'cinf(G)':>8}  {'changed':>7}  portfolio")
+    previous = None
+    for week in range(12):
+        # ~8 % churn out...
+        present = [uid for uid in range(next_uid) if uid in session]
+        for uid in rng.choice(present, size=max(1, len(session) // 12), replace=False):
+            session.remove_user(int(uid))
+        # ...and a cohort arrives around a slowly drifting hot spot.
+        drift += rng.normal(1.2, 0.4, size=2)
+        drift = np.clip(drift, [region.min_x + 2, region.min_y + 2],
+                        [region.max_x - 2, region.max_y - 2])
+        for _ in range(rng.integers(20, 35)):
+            r = int(rng.integers(4, 15))
+            positions = np.clip(
+                rng.normal(drift, 1.5, size=(r, 2)),
+                [region.min_x, region.min_y],
+                [region.max_x, region.max_y],
+            )
+            session.add_user(MovingUser(next_uid, positions))
+            next_uid += 1
+
+        outcome = session.current_selection()
+        portfolio = sorted(outcome.selected)
+        changed = "-" if previous is None else str(
+            len(set(portfolio) - set(previous))
+        )
+        print(f"{week + 1:>5}  {len(session):>6}  {outcome.objective:>8.2f}  "
+              f"{changed:>7}  {portfolio}")
+        previous = portfolio
+
+    print(f"\nprocessed {session.events_processed} events; the portfolio tracked "
+          "the demand drift without a single batch re-solve.")
+
+
+if __name__ == "__main__":
+    main()

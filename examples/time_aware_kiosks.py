@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Time-aware kiosk placement: when to open matters as much as where.
+
+Food kiosks pay rent by the hour.  This example labels a skewed city's
+check-ins with daily rhythms (commute / lunch / evening peaks), then
+selects k kiosks *together with an opening window each* from a shift
+menu, and compares the result against an always-open plan and a
+time-blind plan forced into a single shift.
+
+Run:  python examples/time_aware_kiosks.py
+"""
+
+from repro.data import new_york_like
+from repro.temporal import ALL_DAY, TimeAwareMC2LS, TimeWindow, attach_hours
+
+
+def main() -> None:
+    dataset = new_york_like(n_users=300, n_candidates=30, n_facilities=60, seed=17)
+    print(dataset.describe())
+    timed = attach_hours(dataset.users, seed=17)
+
+    # Hourly rent makes always-open uneconomical, so the menu offers
+    # shifts only; the always-open plan is scored separately below.
+    shift_menu = [
+        TimeWindow(6, 11),   # breakfast
+        TimeWindow(11, 15),  # lunch
+        TimeWindow(16, 22),  # evening
+    ]
+
+    solver = TimeAwareMC2LS(
+        timed, dataset.facilities, dataset.candidates,
+        windows=shift_menu, k=5, tau=0.5,
+    )
+    result = solver.solve()
+
+    print("\ntime-aware plan (site, shift):")
+    for placement, gain in zip(result.placements, result.gains):
+        print(f"  site {placement.cid:>3} open {placement.window}   "
+              f"marginal demand {gain:.2f}")
+    print(f"total captured demand: {result.objective:.2f}")
+
+    for label, menu in [
+        ("always-open plan   ", [ALL_DAY]),
+        ("lunch-only plan    ", [TimeWindow(11, 15)]),
+    ]:
+        alt = TimeAwareMC2LS(
+            timed, dataset.facilities, dataset.candidates,
+            windows=menu, k=5, tau=0.5,
+        ).solve()
+        print(f"{label}: {alt.objective:.2f} captured demand")
+
+    print("\nThe shift menu lets each site match its local rhythm — the "
+          "time-aware plan can only match or beat any fixed-shift plan.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""``repro`` — MC²LS: collective location selection in competition.
+
+A from-scratch reproduction of "MC²LS: Towards Efficient Collective
+Location Selection in Competition" (Wang et al., TKDE 2025): the
+mobility-aware cumulative influence model, the evenly-split competition
+model, the IQuad-tree index with the IS/NIR pruning rules, the adapted
+k-CIFP and baseline solvers, calibrated dataset generators and a full
+benchmark harness for every table and figure of the paper.
+
+Quickstart::
+
+    from repro import MC2LSProblem, IQTSolver
+    from repro.data import california_like
+
+    dataset = california_like(n_users=500)
+    result = IQTSolver().solve(MC2LSProblem(dataset, k=5, tau=0.7))
+    print(result.selected, result.objective)
+"""
+
+from .competition import EvenlySplitModel, InfluenceTable, cinf_group
+from .entities import AbstractFacility, MovingUser, SpatialDataset, candidate, existing
+from .exceptions import (
+    DataError,
+    GeometryError,
+    IndexError_,
+    ProbabilityError,
+    ReproError,
+    SolverError,
+)
+from .geo import Point, Rect
+from .influence import InfluenceEvaluator, SigmoidPF, paper_default_pf
+from .solvers import (
+    AdaptedKCIFPSolver,
+    BaselineGreedySolver,
+    CapacitatedGreedySolver,
+    ExactSolver,
+    IQTSolver,
+    IQTVariant,
+    MC2LSProblem,
+    SolverResult,
+)
+from .spatial import IQuadTree, QuadTree, RTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractFacility",
+    "AdaptedKCIFPSolver",
+    "BaselineGreedySolver",
+    "CapacitatedGreedySolver",
+    "DataError",
+    "EvenlySplitModel",
+    "ExactSolver",
+    "GeometryError",
+    "IQTSolver",
+    "IQTVariant",
+    "IQuadTree",
+    "IndexError_",
+    "InfluenceEvaluator",
+    "InfluenceTable",
+    "MC2LSProblem",
+    "MovingUser",
+    "Point",
+    "ProbabilityError",
+    "QuadTree",
+    "RTree",
+    "Rect",
+    "ReproError",
+    "SigmoidPF",
+    "SolverError",
+    "SolverResult",
+    "SpatialDataset",
+    "candidate",
+    "cinf_group",
+    "existing",
+    "paper_default_pf",
+]

@@ -1,0 +1,143 @@
+"""Post-solve analysis: compare plans, diagnose coverage, audit fairness.
+
+Utilities a deployment team runs *after* the solver: how different are
+two plans, which selected site depends on which users, how contested is
+the captured demand, and what the marginal-value curve says about the
+budget.  Everything operates on resolved :class:`InfluenceTable` objects
+so any solver's output can be analysed uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .competition import InfluenceTable, cinf_group, covered_users
+
+
+def selection_jaccard(a: Sequence[int], b: Sequence[int]) -> float:
+    """Jaccard similarity of two candidate-id selections."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def coverage_jaccard(table: InfluenceTable, a: Sequence[int], b: Sequence[int]) -> float:
+    """Jaccard similarity of the *user sets* two selections capture.
+
+    Two plans with disjoint sites can still serve the same market; this
+    measures outcome similarity rather than site similarity.
+    """
+    ca, cb = covered_users(table, a), covered_users(table, b)
+    if not ca and not cb:
+        return 1.0
+    return len(ca & cb) / len(ca | cb)
+
+
+@dataclass(frozen=True)
+class SiteReport:
+    """Coverage diagnostics of one selected site within a plan.
+
+    Attributes:
+        cid: Candidate id.
+        covered: Users the site influences.
+        exclusive: Users no *other selected site* reaches — the demand
+            lost outright if this site is dropped.
+        value: Evenly-split weight of ``covered``.
+        exclusive_value: Evenly-split weight of ``exclusive``.
+        mean_competition: Average ``|F_o|`` over covered users — how
+            contested this site's market is.
+    """
+
+    cid: int
+    covered: frozenset
+    exclusive: frozenset
+    value: float
+    exclusive_value: float
+    mean_competition: float
+
+
+def site_reports(table: InfluenceTable, selected: Sequence[int]) -> List[SiteReport]:
+    """Per-site diagnostics for a selection."""
+    reports = []
+    for cid in selected:
+        covered = frozenset(table.omega_c.get(cid, frozenset()))
+        others: Set[int] = set()
+        for other in selected:
+            if other != cid:
+                others |= table.omega_c.get(other, set())
+        exclusive = frozenset(covered - others)
+        weigh = lambda uids: math.fsum(
+            1.0 / (table.competitor_count(u) + 1) for u in uids
+        )
+        competition = (
+            sum(table.competitor_count(u) for u in covered) / len(covered)
+            if covered
+            else 0.0
+        )
+        reports.append(
+            SiteReport(
+                cid=cid,
+                covered=covered,
+                exclusive=exclusive,
+                value=weigh(covered),
+                exclusive_value=weigh(exclusive),
+                mean_competition=competition,
+            )
+        )
+    return reports
+
+
+def redundancy_index(table: InfluenceTable, selected: Sequence[int]) -> float:
+    """Share of (site, user) coverage pairs that are redundant overlaps.
+
+    0 means every site's coverage is disjoint; values near 1 mean the
+    plan stacked sites on the same market.  This quantifies exactly the
+    overlap waste Definition 6 refuses to reward.
+    """
+    total_pairs = sum(len(table.omega_c.get(cid, ())) for cid in selected)
+    if total_pairs == 0:
+        return 0.0
+    distinct = len(covered_users(table, selected))
+    return 1.0 - distinct / total_pairs
+
+
+def marginal_curve(table: InfluenceTable, selected: Sequence[int]) -> List[Tuple[int, float]]:
+    """``(prefix length, cinf of prefix)`` along the selection order.
+
+    Reading the knee off this curve is the budget-sizing question the
+    billboard example walks through.
+    """
+    curve = []
+    for i in range(1, len(selected) + 1):
+        curve.append((i, cinf_group(table, list(selected[:i]))))
+    return curve
+
+
+def drop_one_regret(table: InfluenceTable, selected: Sequence[int]) -> Dict[int, float]:
+    """Objective loss from dropping each selected site (no replacement).
+
+    Sites with near-zero regret are candidates for divestment; the sum of
+    regrets understates ``cinf`` exactly by the overlap structure.
+    """
+    full = cinf_group(table, list(selected))
+    out = {}
+    for cid in selected:
+        rest = [c for c in selected if c != cid]
+        out[cid] = full - cinf_group(table, rest)
+    return out
+
+
+def contested_share(table: InfluenceTable, selected: Sequence[int]) -> float:
+    """Fraction of captured users that at least one competitor also serves.
+
+    1.0 means the whole captured market is being fought over; 0.0 means
+    the plan found uncontested demand.
+    """
+    covered = covered_users(table, selected)
+    if not covered:
+        return 0.0
+    contested = sum(1 for uid in covered if table.competitor_count(uid) > 0)
+    return contested / len(covered)

@@ -1,0 +1,14 @@
+"""Benchmark harness: experiment definitions, cached datasets, reporting."""
+
+from . import ascii_viz, datasets, experiments
+from .reporting import clear_registry, format_table, record_table, registered_tables
+
+__all__ = [
+    "ascii_viz",
+    "clear_registry",
+    "datasets",
+    "experiments",
+    "format_table",
+    "record_table",
+    "registered_tables",
+]

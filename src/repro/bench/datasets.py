@@ -1,0 +1,63 @@
+"""Shared, cached benchmark populations.
+
+Dataset generation is deterministic but not free; the sweeps reuse one
+population per dataset kind and resample candidates/facilities/users from
+it, exactly like the paper reuses its two fixed check-in datasets across
+experiments.  Scale is configurable through environment variables so the
+suite can be run at paper scale when time allows:
+
+* ``REPRO_BENCH_USERS_C`` — California-like user count (default 1500).
+* ``REPRO_BENCH_USERS_N`` — New-York-like user count (default 550).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from ..data import SyntheticPopulation, california_spec, generate_population, new_york_spec
+from ..entities import SpatialDataset
+
+DEFAULT_USERS_C = 1500
+DEFAULT_USERS_N = 550
+
+# The paper's default experiment parameters (§VII-A).
+DEFAULT_N_CANDIDATES = 100
+DEFAULT_N_FACILITIES = 200
+DEFAULT_K = 10
+DEFAULT_TAU = 0.7
+DEFAULT_D_HAT = 2.0
+TAU_SWEEP = (0.1, 0.3, 0.5, 0.7, 0.9)
+SIZE_SWEEP = (100, 200, 300, 400, 500)
+K_SWEEP = (5, 10, 15, 20, 25)
+R_SWEEP = (10, 15, 20, 25, 30)
+
+
+def bench_users(kind: str) -> int:
+    """Resolve the configured user count for dataset kind ``"C"``/``"N"``."""
+    if kind == "C":
+        return int(os.environ.get("REPRO_BENCH_USERS_C", DEFAULT_USERS_C))
+    if kind == "N":
+        return int(os.environ.get("REPRO_BENCH_USERS_N", DEFAULT_USERS_N))
+    raise ValueError(f"unknown dataset kind {kind!r}")
+
+
+@lru_cache(maxsize=4)
+def population(kind: str) -> SyntheticPopulation:
+    """The cached user population for dataset kind ``"C"`` or ``"N"``."""
+    n = bench_users(kind)
+    spec = california_spec(n_users=n) if kind == "C" else new_york_spec(n_users=n)
+    return generate_population(spec, seed=0)
+
+
+@lru_cache(maxsize=32)
+def dataset(
+    kind: str,
+    n_candidates: int = DEFAULT_N_CANDIDATES,
+    n_facilities: int = DEFAULT_N_FACILITIES,
+    seed: int = 1,
+) -> SpatialDataset:
+    """A cached dataset of the given kind with sampled facility sets."""
+    return population(kind).dataset(
+        n_candidates, n_facilities, seed=seed, name=f"{kind}-like"
+    )

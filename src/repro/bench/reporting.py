@@ -1,0 +1,74 @@
+"""Plain-text table reporting for the benchmark harness.
+
+Every benchmark registers the rows/series its paper artifact reports;
+tables are rendered as aligned text, written to ``benchmarks/results/``
+and replayed in the pytest terminal summary (so ``pytest benchmarks/
+--benchmark-only`` shows them even with output capture on).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+_REGISTRY: List[Tuple[str, str]] = []
+
+
+def format_table(rows: Sequence[Dict], headers: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows ``headers`` when given, otherwise the key order
+    of the first row.  Values are stringified with sensible float
+    formatting.
+    """
+    if not rows:
+        return "(no rows)"
+    cols = list(headers) if headers else list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(cols[i]), max(len(r[i]) for r in table)) for i in range(len(cols))
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in table)
+    return "\n".join(lines)
+
+
+def record_table(
+    title: str,
+    rows: Sequence[Dict],
+    headers: Sequence[str] | None = None,
+    results_dir: str | Path = "benchmarks/results",
+) -> str:
+    """Register a result table for terminal-summary replay and persist it.
+
+    Returns the rendered table so callers can also print it directly.
+    """
+    rendered = format_table(rows, headers)
+    _REGISTRY.append((title, rendered))
+    directory = Path(results_dir)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in title)
+        (directory / f"{safe}.txt").write_text(f"{title}\n\n{rendered}\n")
+    except OSError:
+        pass  # persistence is best-effort; the summary replay still works
+    return rendered
+
+
+def registered_tables() -> List[Tuple[str, str]]:
+    """Return all tables recorded so far (title, rendered text)."""
+    return list(_REGISTRY)
+
+
+def clear_registry() -> None:
+    """Drop all recorded tables (used by tests)."""
+    _REGISTRY.clear()

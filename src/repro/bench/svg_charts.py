@@ -1,0 +1,251 @@
+"""Standalone SVG line charts — the paper's figures as actual figures.
+
+No plotting stack is available offline, so this is a small hand-rolled
+SVG writer: multi-series line charts with axes, ticks, legends and
+optional logarithmic y (the paper's runtime figures are log-scale).
+The bench suite uses it to render each runtime sweep next to its row
+table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import DataError
+
+_PALETTE = ("#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#a463f2", "#97bbf5")
+
+
+@dataclass
+class Series:
+    """One named line on the chart."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise DataError(f"series {self.name!r} has no points")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / max(n, 1)))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    ticks = []
+    e = math.floor(math.log10(lo))
+    while 10**e <= hi * 1.0001:
+        if 10**e >= lo * 0.9999:
+            ticks.append(10.0**e)
+        e += 1
+    return ticks or [lo, hi]
+
+
+class LineChart:
+    """A multi-series line chart rendered to SVG.
+
+    Args:
+        title: Chart title.
+        x_label / y_label: Axis labels.
+        log_y: Logarithmic y axis (the paper's runtime figures).
+        width / height: Pixel dimensions.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str = "",
+        y_label: str = "",
+        log_y: bool = False,
+        width: int = 560,
+        height: int = 360,
+    ):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.log_y = log_y
+        self.width = width
+        self.height = height
+        self._series: List[Series] = []
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> None:
+        """Add one named line (x, y pairs; y must be positive when log)."""
+        pts = [(float(x), float(y)) for x, y in points]
+        if self.log_y and any(y <= 0 for _, y in pts):
+            raise DataError(f"log-scale series {name!r} needs positive y values")
+        self._series.append(Series(name, pts))
+
+    @staticmethod
+    def from_rows(
+        rows: Sequence[Dict],
+        x_key: str,
+        y_keys: Sequence[str],
+        title: str,
+        log_y: bool = True,
+        x_label: Optional[str] = None,
+        y_label: str = "seconds",
+    ) -> "LineChart":
+        """Build a chart straight from benchmark row dicts."""
+        chart = LineChart(
+            title, x_label=x_label or x_key, y_label=y_label, log_y=log_y
+        )
+        for key in y_keys:
+            chart.add_series(
+                key.removesuffix("_s"),
+                [(row[x_key], row[key]) for row in rows],
+            )
+        return chart
+
+    # ------------------------------------------------------------------
+    def _y_transform(self, y: float) -> float:
+        return math.log10(y) if self.log_y else y
+
+    def render(self) -> str:
+        """Return the chart as an SVG document string."""
+        if not self._series:
+            raise DataError("chart has no series")
+        margin_l, margin_r, margin_t, margin_b = 64, 140, 40, 48
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+
+        xs = [x for s in self._series for x, _ in s.points]
+        ys = [y for s in self._series for _, y in s.points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1
+        ticks_x = _nice_ticks(x_lo, x_hi)
+        ticks_y = _log_ticks(y_lo, y_hi) if self.log_y else _nice_ticks(
+            min(0.0, y_lo) if y_lo > 0 else y_lo, y_hi
+        )
+        t_lo = self._y_transform(min(ticks_y + [y_lo]))
+        t_hi = self._y_transform(max(ticks_y + [y_hi]))
+        if t_hi == t_lo:
+            t_hi = t_lo + 1
+
+        def px(x: float) -> float:
+            return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def py(y: float) -> float:
+            t = self._y_transform(y)
+            return margin_t + (t_hi - t) / (t_hi - t_lo) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="11">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{margin_l}" y="22" font-size="14" font-weight="bold">'
+            f"{self.title}</text>",
+        ]
+        # Axes + grid.
+        for tx in ticks_x:
+            if not x_lo <= tx <= x_hi:
+                continue
+            x = px(tx)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+                f'y2="{margin_t + plot_h}" stroke="#eee"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{margin_t + plot_h + 16}" '
+                f'text-anchor="middle">{tx:g}</text>'
+            )
+        for ty in ticks_y:
+            y = py(ty)
+            parts.append(
+                f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+                f'y2="{y:.1f}" stroke="#eee"/>'
+            )
+            parts.append(
+                f'<text x="{margin_l - 6}" y="{y + 4:.1f}" '
+                f'text-anchor="end">{ty:g}</text>'
+            )
+        parts.append(
+            f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+            f'height="{plot_h}" fill="none" stroke="#999"/>'
+        )
+        # Series.
+        for i, series in enumerate(self._series):
+            color = _PALETTE[i % len(_PALETTE)]
+            path = " ".join(
+                f"{'M' if j == 0 else 'L'}{px(x):.1f},{py(y):.1f}"
+                for j, (x, y) in enumerate(sorted(series.points))
+            )
+            parts.append(
+                f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+            )
+            for x, y in series.points:
+                parts.append(
+                    f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                    f'fill="{color}"/>'
+                )
+            ly = margin_t + 14 + i * 16
+            lx = margin_l + plot_w + 12
+            parts.append(
+                f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(f'<text x="{lx + 22}" y="{ly}">{series.name}</text>')
+        # Axis labels.
+        if self.x_label:
+            parts.append(
+                f'<text x="{margin_l + plot_w / 2:.0f}" y="{self.height - 10}" '
+                f'text-anchor="middle">{self.x_label}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="16" y="{margin_t + plot_h / 2:.0f}" text-anchor="middle" '
+                f'transform="rotate(-90 16 {margin_t + plot_h / 2:.0f})">'
+                f"{self.y_label}</text>"
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> None:
+        """Write the SVG document to disk."""
+        Path(path).write_text(self.render())
+
+
+def save_runtime_figure(
+    rows: Sequence[Dict],
+    x_key: str,
+    title: str,
+    filename: str,
+    results_dir: str | Path = "benchmarks/results",
+) -> Optional[Path]:
+    """Render a runtime sweep (all ``*_s`` columns) as a log-scale SVG.
+
+    Best-effort: returns the written path, or ``None`` when the results
+    directory is not writable (the row tables remain the primary record).
+    """
+    y_keys = [k for k in rows[0] if k.endswith("_s")]
+    if not y_keys:
+        raise DataError("no *_s runtime columns in rows")
+    chart = LineChart.from_rows(rows, x_key, y_keys, title=title, log_y=True)
+    directory = Path(results_dir)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / filename
+        chart.save(path)
+        return path
+    except OSError:
+        return None

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``solve``    — solve one MC²LS instance and print the selection.
+* ``compare``  — run all four algorithms on one instance, check they
+  agree, and print the runtime/work comparison.
+* ``stats``    — print the distribution statistics of a dataset.
+* ``generate`` — write a synthetic SNAP-format check-in file.
+
+Datasets are either the calibrated synthetic populations (``--dataset c``
+/ ``--dataset n``) or a real SNAP check-in dump (``--checkins FILE``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench.reporting import format_table
+from .data import california_like, compute_stats, load_checkins, new_york_like
+from .entities import SpatialDataset
+from .exceptions import ReproError
+from .solvers import (
+    AdaptedKCIFPSolver,
+    BaselineGreedySolver,
+    IQTSolver,
+    IQTVariant,
+    MC2LSProblem,
+    Solver,
+)
+
+_SOLVERS = {
+    "baseline": lambda: BaselineGreedySolver(),
+    "k-cifp": lambda: AdaptedKCIFPSolver(),
+    "iqt": lambda: IQTSolver(variant=IQTVariant.IQT),
+    "iqt-c": lambda: IQTSolver(variant=IQTVariant.IQT_C),
+    "iqt-pino": lambda: IQTSolver(variant=IQTVariant.IQT_PINO),
+}
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("c", "n"), default="c",
+                        help="calibrated synthetic population (default: c)")
+    parser.add_argument("--checkins", metavar="FILE",
+                        help="SNAP-format check-in file instead of synthetic data")
+    parser.add_argument("--users", type=int, default=800,
+                        help="synthetic user count (default: 800)")
+    parser.add_argument("--candidates", type=int, default=60)
+    parser.add_argument("--facilities", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_dataset(args: argparse.Namespace) -> SpatialDataset:
+    if args.checkins:
+        data = load_checkins(args.checkins)
+        return data.dataset(args.candidates, args.facilities, seed=args.seed)
+    maker = california_like if args.dataset == "c" else new_york_like
+    return maker(
+        n_users=args.users,
+        n_candidates=args.candidates,
+        n_facilities=args.facilities,
+        seed=args.seed,
+    )
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    problem = MC2LSProblem(dataset, k=args.k, tau=args.tau)
+    solver: Solver = _SOLVERS[args.solver]()
+    result = solver.solve(problem)
+    print(dataset.describe())
+    rows = [
+        {
+            "round": i + 1,
+            "candidate": cid,
+            "marginal_gain": gain,
+            "users_covered": len(result.table.omega_c.get(cid, ())),
+        }
+        for i, (cid, gain) in enumerate(zip(result.selected, result.gains))
+    ]
+    print(format_table(rows))
+    print(f"\ncinf(G) = {result.objective:.4f}   "
+          f"solver = {solver.name}   time = {result.total_time * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    problem = MC2LSProblem(dataset, k=args.k, tau=args.tau)
+    print(dataset.describe())
+    rows = []
+    reference = None
+    for name, factory in _SOLVERS.items():
+        if name == "baseline" and args.skip_baseline:
+            continue
+        result = factory().solve(problem)
+        if reference is None:
+            reference = result.selected
+        agree = "yes" if result.selected == reference else "NO"
+        rows.append(
+            {
+                "solver": name,
+                "time_s": result.total_time,
+                "evaluations": result.evaluation.total_evaluations,
+                "positions_touched": result.evaluation.positions_touched,
+                "objective": result.objective,
+                "agrees": agree,
+            }
+        )
+    print(format_table(rows))
+    if any(r["agrees"] == "NO" for r in rows):
+        print("\nERROR: solvers disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    print(format_table([compute_stats(dataset).as_row()]))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data.io import write_checkin_file
+
+    n = write_checkin_file(
+        args.output, n_users=args.users, seed=args.seed, clustered=args.dataset == "n"
+    )
+    print(f"wrote {n} check-ins to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MC2LS: collective location selection in competition",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one instance")
+    _add_dataset_args(solve)
+    solve.add_argument("--k", type=int, default=5)
+    solve.add_argument("--tau", type=float, default=0.7)
+    solve.add_argument("--solver", choices=sorted(_SOLVERS), default="iqt")
+    solve.set_defaults(func=_cmd_solve)
+
+    compare = sub.add_parser("compare", help="run all algorithms and compare")
+    _add_dataset_args(compare)
+    compare.add_argument("--k", type=int, default=5)
+    compare.add_argument("--tau", type=float, default=0.7)
+    compare.add_argument("--skip-baseline", action="store_true",
+                         help="skip the slow exhaustive baseline")
+    compare.set_defaults(func=_cmd_compare)
+
+    stats = sub.add_parser("stats", help="dataset distribution statistics")
+    _add_dataset_args(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    generate = sub.add_parser("generate", help="write a synthetic check-in file")
+    _add_dataset_args(generate)
+    generate.add_argument("output", help="output path (SNAP check-in format)")
+    generate.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

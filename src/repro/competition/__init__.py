@@ -1,0 +1,16 @@
+"""Competition layer: evenly-split model (paper) and extensions."""
+
+from .evenly_split import cinf_candidate, cinf_group, cinf_user, covered_users
+from .models import CompetitionModel, DistanceWeightedModel, EvenlySplitModel
+from .table import InfluenceTable
+
+__all__ = [
+    "CompetitionModel",
+    "DistanceWeightedModel",
+    "EvenlySplitModel",
+    "InfluenceTable",
+    "cinf_candidate",
+    "cinf_group",
+    "cinf_user",
+    "covered_users",
+]

@@ -1,0 +1,61 @@
+"""The evenly-split competition model (Definitions 3–6 of the paper).
+
+Every facility (existing or newly selected) that influences a user captures
+an equal share of that user's demand.  A candidate ``c`` influencing user
+``o`` therefore captures ``cinf(c, o) = 1 / (|F_o| + 1)``, and a candidate
+*set* ``G`` captures each influenced user exactly once:
+``cinf(G) = Σ_{o ∈ Ω_G} 1 / (|F_o| + 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Set
+
+from .table import InfluenceTable
+
+
+def cinf_user(table: InfluenceTable, uid: int) -> float:
+    """Return ``cinf(c, o) = 1 / (|F_o| + 1)`` for any candidate influencing ``o``.
+
+    Under the evenly-split model the captured share depends only on the
+    user's competitor count, not on which candidate captures it.
+    """
+    return 1.0 / (table.competitor_count(uid) + 1)
+
+
+def cinf_candidate(table: InfluenceTable, cid: int, excluded: Set[int] | None = None) -> float:
+    """Return ``cinf(c)`` — Definition 4 — optionally over ``Ω_c \\ excluded``.
+
+    ``excluded`` carries the users already captured by previously selected
+    candidates; passing it implements the greedy marginal-gain computation
+    without mutating the table.
+    """
+    users = table.omega_c.get(cid)
+    if not users:
+        return 0.0
+    if excluded:
+        users = users - excluded
+    # fsum: correctly rounded, hence independent of set iteration order —
+    # solvers building equal sets in different orders must tie exactly.
+    return math.fsum(1.0 / (table.competitor_count(uid) + 1) for uid in users)
+
+
+def cinf_group(table: InfluenceTable, cids: Iterable[int]) -> float:
+    """Return ``cinf(G)`` — Definition 6 — for a set of candidate ids.
+
+    Users influenced by several selected candidates are counted once, which
+    is exactly the "no overlapping accumulation" semantics of Definition 6.
+    """
+    covered: Set[int] = set()
+    for cid in cids:
+        covered |= table.omega_c.get(cid, set())
+    return math.fsum(1.0 / (table.competitor_count(uid) + 1) for uid in covered)
+
+
+def covered_users(table: InfluenceTable, cids: Iterable[int]) -> Set[int]:
+    """Return ``Ω_G`` — Definition 5 — for a set of candidate ids."""
+    covered: Set[int] = set()
+    for cid in cids:
+        covered |= table.omega_c.get(cid, set())
+    return covered

@@ -1,0 +1,115 @@
+"""Pluggable competition models.
+
+The paper commits to the evenly-split model (Revelle's "sphere of
+influence"; Aboolian et al.; Plastria).  For ablation we also provide a
+distance-weighted (Huff-style) split in which nearer facilities capture a
+proportionally larger share of a contested user.  All models expose the
+same interface: the share of user ``o`` a *new* candidate would capture
+given the user's competitor context.
+
+The solvers are written against :class:`CompetitionModel`, with
+:class:`EvenlySplitModel` as the default, so swapping models changes only
+the objective weighting — the pruning and greedy machinery is unaffected
+(both models are monotone submodular in the selected set, because a user's
+weight does not depend on which or how many *candidates* cover it).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Set
+
+import numpy as np
+
+from ..entities import AbstractFacility, MovingUser
+from ..influence import ProbabilityFunction
+from .table import InfluenceTable
+
+
+class CompetitionModel(ABC):
+    """Maps a user's competitor context to the share a candidate captures."""
+
+    @abstractmethod
+    def user_share(self, table: InfluenceTable, uid: int) -> float:
+        """Share of user ``uid`` captured by any one covering candidate."""
+
+    def group_value(self, table: InfluenceTable, cids: Iterable[int]) -> float:
+        """Objective value ``cinf(G)`` of a candidate-id set under this model."""
+        covered: Set[int] = set()
+        for cid in cids:
+            covered |= table.omega_c.get(cid, set())
+        return math.fsum(self.user_share(table, uid) for uid in covered)
+
+    def candidate_value(
+        self, table: InfluenceTable, cid: int, excluded: Set[int] | None = None
+    ) -> float:
+        """Marginal value of candidate ``cid`` given already-covered users."""
+        users = table.omega_c.get(cid)
+        if not users:
+            return 0.0
+        if excluded:
+            users = users - excluded
+        # fsum: correctly rounded, hence independent of set iteration order.
+        return math.fsum(self.user_share(table, uid) for uid in users)
+
+
+class EvenlySplitModel(CompetitionModel):
+    """The paper's model: ``share = 1 / (|F_o| + 1)`` (Equation 1)."""
+
+    def user_share(self, table: InfluenceTable, uid: int) -> float:
+        return 1.0 / (table.competitor_count(uid) + 1)
+
+    def __repr__(self) -> str:
+        return "EvenlySplitModel()"
+
+
+class DistanceWeightedModel(CompetitionModel):
+    """Huff-style split: shares proportional to facility utility.
+
+    The utility a facility ``v`` derives from user ``o`` is the cumulative
+    influence probability ``Pr_v(o)``; a new candidate with utility ``u_c``
+    competing against facilities with utilities ``u_f`` captures
+    ``u_c / (u_c + Σ u_f)``.  Because per-user utilities must be known, the
+    model precomputes them from the raw entities at construction time.
+
+    This model is an *extension* (ablation A-competition); it is not part
+    of the paper's evaluation but demonstrates the pluggability of the
+    competition layer.
+    """
+
+    def __init__(
+        self,
+        users: Dict[int, MovingUser],
+        facilities: Dict[int, AbstractFacility],
+        pf: ProbabilityFunction,
+        candidate_utility: float = 0.5,
+    ) -> None:
+        self._users = users
+        self._facilities = facilities
+        self._pf = pf
+        self._candidate_utility = candidate_utility
+        self._cache: Dict[int, float] = {}
+
+    def _facility_utility(self, fid: int, user: MovingUser) -> float:
+        facility = self._facilities[fid]
+        dx = user.positions[:, 0] - facility.x
+        dy = user.positions[:, 1] - facility.y
+        d = np.sqrt(dx * dx + dy * dy)
+        survival = 1.0 - self._pf(d)
+        return float(1.0 - np.prod(survival))
+
+    def user_share(self, table: InfluenceTable, uid: int) -> float:
+        if uid in self._cache:
+            return self._cache[uid]
+        competitors = table.f_o.get(uid, set())
+        user = self._users[uid]
+        total = self._candidate_utility + sum(
+            self._facility_utility(fid, user) for fid in competitors
+        )
+        share = self._candidate_utility / total if total > 0 else 0.0
+        self._cache[uid] = share
+        return share
+
+    def __repr__(self) -> str:
+        return f"DistanceWeightedModel(candidate_utility={self._candidate_utility})"

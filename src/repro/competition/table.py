@@ -1,0 +1,65 @@
+"""Influence relationship tables shared by the competition model and solvers.
+
+Once the (expensive) influence relationships are resolved, every solver
+works off the same two mappings:
+
+* ``omega_c`` — for each candidate id, the set of user ids it influences
+  (the paper's ``Ω_c``).
+* ``f_o`` — for each user id, the set of existing-facility ids that
+  influence it (the paper's ``F_o``).
+
+:class:`InfluenceTable` packages the two with consistency checks and the
+bookkeeping queries (candidate coverage, per-user competitor counts) that
+the greedy phase needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Set
+
+from ..exceptions import SolverError
+
+
+@dataclass
+class InfluenceTable:
+    """Resolved influence relationships of one MC²LS instance.
+
+    Attributes:
+        omega_c: ``candidate id -> set of influenced user ids`` (``Ω_c``).
+        f_o: ``user id -> set of competing facility ids`` (``F_o``).  Users
+            that appear in no candidate's ``Ω_c`` may be omitted: the
+            competitive influence of a candidate only ever reads ``F_o`` for
+            users it influences (Algorithm 1, line 10 optimisation).
+    """
+
+    omega_c: Dict[int, Set[int]] = field(default_factory=dict)
+    f_o: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def competitor_count(self, uid: int) -> int:
+        """Return ``|F_o|`` for a user (0 when untracked)."""
+        fo = self.f_o.get(uid)
+        return len(fo) if fo else 0
+
+    def influenced_users(self) -> FrozenSet[int]:
+        """Return ``Ω_C`` — users influenced by at least one candidate."""
+        out: Set[int] = set()
+        for users in self.omega_c.values():
+            out |= users
+        return frozenset(out)
+
+    def validate_against(self, candidate_ids: Set[int]) -> None:
+        """Check every tracked candidate id is a known candidate."""
+        unknown = set(self.omega_c) - candidate_ids
+        if unknown:
+            raise SolverError(f"influence table references unknown candidates {unknown}")
+
+    @staticmethod
+    def from_mappings(
+        omega_c: Mapping[int, Set[int]], f_o: Mapping[int, Set[int]]
+    ) -> "InfluenceTable":
+        """Build a table from plain mappings (copies are taken)."""
+        return InfluenceTable(
+            {cid: set(users) for cid, users in omega_c.items()},
+            {uid: set(fids) for uid, fids in f_o.items()},
+        )

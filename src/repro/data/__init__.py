@@ -1,0 +1,51 @@
+"""Datasets: calibrated synthetic generators, SNAP loaders, statistics."""
+
+from .loader import (
+    CALIFORNIA_BOX,
+    NEW_YORK_BOX,
+    CheckinData,
+    LatLonBox,
+    load_checkins,
+)
+from .io import (
+    load_dataset_npz,
+    load_result_json,
+    result_to_dict,
+    save_dataset_npz,
+    save_result_json,
+    write_checkin_file,
+)
+from .stats import DatasetStats, compute_stats, mbr_overlap_fraction
+from .synthetic import (
+    SyntheticPopulation,
+    SyntheticSpec,
+    california_like,
+    california_spec,
+    generate_population,
+    new_york_like,
+    new_york_spec,
+)
+
+__all__ = [
+    "CALIFORNIA_BOX",
+    "CheckinData",
+    "DatasetStats",
+    "LatLonBox",
+    "NEW_YORK_BOX",
+    "SyntheticPopulation",
+    "SyntheticSpec",
+    "california_like",
+    "california_spec",
+    "compute_stats",
+    "generate_population",
+    "load_checkins",
+    "load_dataset_npz",
+    "load_result_json",
+    "result_to_dict",
+    "save_dataset_npz",
+    "save_result_json",
+    "write_checkin_file",
+    "mbr_overlap_fraction",
+    "new_york_like",
+    "new_york_spec",
+]

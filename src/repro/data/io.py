@@ -1,0 +1,170 @@
+"""Dataset and result (de)serialisation.
+
+Three formats:
+
+* **NPZ** — compact binary round-trip of a full :class:`SpatialDataset`
+  (users + facilities + candidates), the native interchange format.
+* **JSON** — human-readable export of a solver result (selection, gains,
+  objective, timings, work counters) for downstream tooling.
+* **SNAP check-in text** — :func:`write_checkin_file` emits a synthetic
+  file in the Brightkite/Gowalla dump format, so the whole ingestion
+  pipeline (:func:`repro.data.loader.load_checkins`) can be exercised —
+  and demonstrated — without the real, non-redistributable datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from ..entities import MovingUser, SpatialDataset, candidate, existing
+from ..exceptions import DataError
+from ..solvers import SolverResult
+
+
+# ----------------------------------------------------------------------
+# NPZ dataset round-trip
+# ----------------------------------------------------------------------
+def save_dataset_npz(dataset: SpatialDataset, path: str | Path) -> None:
+    """Write a dataset to ``path`` as a compressed NPZ archive."""
+    positions = np.vstack([u.positions for u in dataset.users])
+    uid_of_row = np.repeat(
+        np.array([u.uid for u in dataset.users], dtype=np.int64),
+        np.array([u.r for u in dataset.users], dtype=np.int64),
+    )
+    np.savez_compressed(
+        path,
+        positions=positions,
+        uid_of_row=uid_of_row,
+        facility_ids=np.array([f.fid for f in dataset.facilities], dtype=np.int64),
+        facility_xy=np.array(
+            [[f.x, f.y] for f in dataset.facilities], dtype=float
+        ).reshape(-1, 2),
+        candidate_ids=np.array([c.fid for c in dataset.candidates], dtype=np.int64),
+        candidate_xy=np.array(
+            [[c.x, c.y] for c in dataset.candidates], dtype=float
+        ).reshape(-1, 2),
+        name=np.array(dataset.name),
+    )
+
+
+def load_dataset_npz(path: str | Path) -> SpatialDataset:
+    """Read a dataset previously written by :func:`save_dataset_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        uid_of_row = data["uid_of_row"]
+        positions = data["positions"]
+        users: List[MovingUser] = []
+        # Rows were written grouped per user, so one stable pass suffices.
+        order = np.argsort(uid_of_row, kind="stable")
+        uid_sorted = uid_of_row[order]
+        pos_sorted = positions[order]
+        if uid_sorted.size:
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(uid_sorted) != 0) + 1)
+            )
+            ends = np.concatenate((starts[1:], [uid_sorted.size]))
+            for lo, hi in zip(starts.tolist(), ends.tolist()):
+                users.append(MovingUser(int(uid_sorted[lo]), pos_sorted[lo:hi]))
+        facilities = [
+            existing(int(fid), float(xy[0]), float(xy[1]))
+            for fid, xy in zip(data["facility_ids"], data["facility_xy"])
+        ]
+        candidates = [
+            candidate(int(cid), float(xy[0]), float(xy[1]))
+            for cid, xy in zip(data["candidate_ids"], data["candidate_xy"])
+        ]
+        name = str(data["name"])
+    return SpatialDataset.build(users, facilities, candidates, name=name)
+
+
+# ----------------------------------------------------------------------
+# JSON result export
+# ----------------------------------------------------------------------
+def result_to_dict(result: SolverResult) -> Dict:
+    """Flatten a solver result into a JSON-serialisable dict."""
+    return {
+        "selected": list(result.selected),
+        "objective": result.objective,
+        "gains": list(result.gains),
+        "timings": dict(result.timings),
+        "evaluations": result.evaluation.total_evaluations,
+        "positions_touched": result.evaluation.positions_touched,
+        "coverage": {
+            str(cid): sorted(users)
+            for cid, users in result.table.omega_c.items()
+            if cid in result.selected
+        },
+    }
+
+
+def save_result_json(result: SolverResult, path: str | Path) -> None:
+    """Write a solver result as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def load_result_json(path: str | Path) -> Dict:
+    """Read a result dict previously written by :func:`save_result_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"result file not found: {path}")
+    return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------------------
+# Synthetic SNAP check-in files
+# ----------------------------------------------------------------------
+def write_checkin_file(
+    path: str | Path,
+    n_users: int = 200,
+    seed: int = 0,
+    clustered: bool = False,
+    center_lat: float = 40.75,
+    center_lon: float = -73.95,
+) -> int:
+    """Write a synthetic check-in dump in the SNAP 5-column format.
+
+    Users revisit a handful of favourite venues around a home point (the
+    same behavioural model as :mod:`repro.data.synthetic`); ``clustered``
+    concentrates homes around a few hot spots.  Returns the number of
+    check-in rows written.
+    """
+    if n_users < 1:
+        raise DataError(f"n_users must be >= 1, got {n_users}")
+    rng = np.random.default_rng(seed)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    center = np.array([center_lat, center_lon])
+    hotspots = (
+        center + rng.normal(0, 0.08, size=(3, 2)) if clustered else None
+    )
+    lines: List[str] = []
+    poi_counter = 0
+    for uid in range(n_users):
+        if hotspots is not None:
+            home = hotspots[rng.integers(len(hotspots))] + rng.normal(0, 0.01, 2)
+        else:
+            home = center + rng.normal(0, 0.06, size=2)
+        n_venues = max(1, int(rng.poisson(3)))
+        venues = home + rng.normal(0, 0.02, size=(n_venues, 2))
+        venue_ids = [f"poi_{poi_counter + i}" for i in range(n_venues)]
+        poi_counter += n_venues
+        preferences = rng.dirichlet(np.full(n_venues, 0.8))
+        for _ in range(int(rng.integers(2, 25))):
+            which = int(rng.choice(n_venues, p=preferences))
+            lat, lon = venues[which] + rng.normal(0, 0.001, size=2)
+            stamp = (
+                f"2010-{int(rng.integers(1, 13)):02d}-"
+                f"{int(rng.integers(1, 29)):02d}T"
+                f"{int(rng.integers(0, 24)):02d}:00:00Z"
+            )
+            lines.append(
+                f"{uid}\t{stamp}\t{lat:.6f}\t{lon:.6f}\t{venue_ids[which]}"
+            )
+    path.write_text("\n".join(lines) + "\n")
+    return len(lines)

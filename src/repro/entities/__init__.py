@@ -1,0 +1,14 @@
+"""Entity model: moving users, abstract facilities and datasets."""
+
+from .dataset import SpatialDataset
+from .facility import AbstractFacility, FacilityKind, candidate, existing
+from .user import MovingUser
+
+__all__ = [
+    "AbstractFacility",
+    "FacilityKind",
+    "MovingUser",
+    "SpatialDataset",
+    "candidate",
+    "existing",
+]

@@ -1,0 +1,136 @@
+"""Problem-instance container: users, competitors and candidates together.
+
+A :class:`SpatialDataset` bundles the three entity collections of an MC²LS
+instance plus derived quantities every solver needs (region MBR, maximum
+position count ``r_max``).  Datasets are immutable after construction;
+experiment sweeps derive new datasets via the ``with_*`` / ``subsample``
+methods instead of mutating shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..geo import Rect
+from .facility import AbstractFacility, FacilityKind
+from .user import MovingUser
+
+
+@dataclass(frozen=True)
+class SpatialDataset:
+    """An immutable MC²LS problem instance (without k / τ / PF).
+
+    Attributes:
+        users: The moving-user population ``Ω``.
+        facilities: Existing competitor facilities ``F``.
+        candidates: Candidate locations ``C``.
+        name: Human-readable label used in benchmark output.
+    """
+
+    users: tuple[MovingUser, ...]
+    facilities: tuple[AbstractFacility, ...]
+    candidates: tuple[AbstractFacility, ...]
+    name: str = "dataset"
+    _region: Rect = field(init=False, repr=False, compare=False)
+    _r_max: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.users:
+            raise DataError("a dataset needs at least one user")
+        for f in self.facilities:
+            if f.kind is not FacilityKind.EXISTING:
+                raise DataError(f"facility {f.fid} is not of kind EXISTING")
+        for c in self.candidates:
+            if c.kind is not FacilityKind.CANDIDATE:
+                raise DataError(f"candidate {c.fid} is not of kind CANDIDATE")
+        uids = [u.uid for u in self.users]
+        if len(set(uids)) != len(uids):
+            raise DataError("duplicate user ids in dataset")
+        region = self.users[0].mbr
+        for u in self.users[1:]:
+            region = region.union(u.mbr)
+        for v in list(self.facilities) + list(self.candidates):
+            region = region.union(Rect.from_point(v.location))
+        object.__setattr__(self, "_region", region)
+        object.__setattr__(self, "_r_max", max(u.r for u in self.users))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def region(self) -> Rect:
+        """MBR of everything in the dataset (users and facilities)."""
+        return self._region
+
+    @property
+    def r_max(self) -> int:
+        """Maximum position count over all users (drives ``NIR``)."""
+        return self._r_max
+
+    @property
+    def n_positions(self) -> int:
+        """Total number of recorded positions across all users."""
+        return sum(u.r for u in self.users)
+
+    @property
+    def abstract_facilities(self) -> tuple[AbstractFacility, ...]:
+        """All abstract facilities ``C ∪ F`` (candidates first)."""
+        return self.candidates + self.facilities
+
+    def describe(self) -> str:
+        """One-line summary used by benchmark reports."""
+        return (
+            f"{self.name}: |Ω|={len(self.users)} positions={self.n_positions} "
+            f"|F|={len(self.facilities)} |C|={len(self.candidates)} "
+            f"region={self.region.width:.1f}x{self.region.height:.1f} km"
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation helpers for experiment sweeps
+    # ------------------------------------------------------------------
+    def with_users(self, users: Iterable[MovingUser]) -> "SpatialDataset":
+        """Return a copy with a different user population."""
+        return SpatialDataset(tuple(users), self.facilities, self.candidates, self.name)
+
+    def with_candidates(self, candidates: Iterable[AbstractFacility]) -> "SpatialDataset":
+        """Return a copy with a different candidate set."""
+        return SpatialDataset(self.users, self.facilities, tuple(candidates), self.name)
+
+    def with_facilities(self, facilities: Iterable[AbstractFacility]) -> "SpatialDataset":
+        """Return a copy with a different competitor set."""
+        return SpatialDataset(self.users, tuple(facilities), self.candidates, self.name)
+
+    def subsample_users(self, n: int, seed: int = 0) -> "SpatialDataset":
+        """Return a copy keeping ``n`` users sampled without replacement."""
+        if not 1 <= n <= len(self.users):
+            raise DataError(f"cannot sample {n} of {len(self.users)} users")
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self.users), size=n, replace=False)
+        return self.with_users(self.users[i] for i in np.sort(idx))
+
+    def subsample_positions(self, r: int, seed: int = 0) -> "SpatialDataset":
+        """Keep users with at least ``r`` positions, sampled down to ``r``.
+
+        This mirrors the paper's "effect of r" protocol (Figs. 15–16):
+        choose users with over ``r`` positions and randomly sample exactly
+        ``r`` from each.
+        """
+        rng = np.random.default_rng(seed)
+        kept = [u.subsampled(r, rng) for u in self.users if u.r >= r]
+        if not kept:
+            raise DataError(f"no user has >= {r} positions")
+        return self.with_users(kept)
+
+    @staticmethod
+    def build(
+        users: Sequence[MovingUser],
+        facilities: Sequence[AbstractFacility],
+        candidates: Sequence[AbstractFacility],
+        name: str = "dataset",
+    ) -> "SpatialDataset":
+        """Convenience constructor accepting any sequences."""
+        return SpatialDataset(tuple(users), tuple(facilities), tuple(candidates), name)

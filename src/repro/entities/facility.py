@@ -1,0 +1,65 @@
+"""Facilities and candidate locations.
+
+Both existing (competitor) facilities and candidate locations are
+stationary points; the paper calls their union *abstract facilities*
+``v ∈ C ∪ F``.  We model that with a shared base class and two concrete
+kinds so code can be written once over abstract facilities while identity
+(candidate vs competitor) stays explicit where it matters — the competitive
+influence computation treats the two differently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..geo import Point
+
+
+class FacilityKind(enum.Enum):
+    """Whether an abstract facility is a candidate site or a competitor."""
+
+    CANDIDATE = "candidate"
+    EXISTING = "existing"
+
+
+@dataclass(frozen=True, slots=True)
+class AbstractFacility:
+    """A stationary abstract facility ``v ∈ C ∪ F``.
+
+    Attributes:
+        fid: Identifier, unique within its kind (candidate ids and facility
+            ids live in separate namespaces, matching the paper's notation
+            ``c_i`` / ``f_j``).
+        location: The facility's fixed position in km-space.
+        kind: Candidate or existing competitor.
+    """
+
+    fid: int
+    location: Point
+    kind: FacilityKind
+
+    @property
+    def x(self) -> float:
+        """Horizontal coordinate (km)."""
+        return self.location.x
+
+    @property
+    def y(self) -> float:
+        """Vertical coordinate (km)."""
+        return self.location.y
+
+    @property
+    def is_candidate(self) -> bool:
+        """``True`` for candidate sites."""
+        return self.kind is FacilityKind.CANDIDATE
+
+
+def candidate(fid: int, x: float, y: float) -> AbstractFacility:
+    """Build a candidate location ``c_fid`` at ``(x, y)``."""
+    return AbstractFacility(fid, Point(x, y), FacilityKind.CANDIDATE)
+
+
+def existing(fid: int, x: float, y: float) -> AbstractFacility:
+    """Build an existing competitor facility ``f_fid`` at ``(x, y)``."""
+    return AbstractFacility(fid, Point(x, y), FacilityKind.EXISTING)

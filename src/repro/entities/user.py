@@ -1,0 +1,89 @@
+"""Moving users — multisets of activity positions (paper §III-A).
+
+A moving user is a series of ``r`` recorded positions in the plane.  The
+order of positions is irrelevant to the influence model (the cumulative
+probability is a product over positions), so a user is effectively a point
+multiset with an identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..geo import Point, Rect
+
+
+@dataclass(frozen=True)
+class MovingUser:
+    """A moving user with an id and an immutable ``(r, 2)`` position array.
+
+    Attributes:
+        uid: Stable integer identifier, unique within a dataset.
+        positions: ``(r, 2)`` float array of activity positions (km-space).
+            The array is marked read-only at construction so cached
+            derived values (the MBR) can never go stale.
+    """
+
+    uid: int
+    positions: np.ndarray
+    _mbr: Rect = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2 or pos.shape[0] == 0:
+            raise DataError(
+                f"user {self.uid}: positions must be a non-empty (r, 2) array, "
+                f"got shape {pos.shape}"
+            )
+        if not np.isfinite(pos).all():
+            raise DataError(f"user {self.uid}: positions contain NaN/inf")
+        pos = np.ascontiguousarray(pos)
+        pos.setflags(write=False)
+        object.__setattr__(self, "positions", pos)
+        object.__setattr__(self, "_mbr", Rect.from_array(pos))
+
+    @property
+    def r(self) -> int:
+        """Number of recorded positions."""
+        return self.positions.shape[0]
+
+    @property
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of the user's positions (cached)."""
+        return self._mbr
+
+    def points(self) -> list[Point]:
+        """Return the positions as :class:`Point` objects (slow path)."""
+        return [Point(float(x), float(y)) for x, y in self.positions]
+
+    def subsampled(self, r: int, rng: np.random.Generator) -> "MovingUser":
+        """Return a copy keeping ``r`` positions sampled without replacement.
+
+        Used by the "effect of r" experiments (Figs. 15–16), which fix the
+        user population and vary how many positions each user contributes.
+        """
+        if not 1 <= r <= self.r:
+            raise DataError(
+                f"user {self.uid}: cannot sample {r} of {self.r} positions"
+            )
+        idx = rng.choice(self.r, size=r, replace=False)
+        return MovingUser(self.uid, self.positions[np.sort(idx)])
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MovingUser):
+            return NotImplemented
+        return self.uid == other.uid
+
+    @staticmethod
+    def from_points(uid: int, points: Sequence[Point]) -> "MovingUser":
+        """Build a user from a sequence of :class:`Point` objects."""
+        if not points:
+            raise DataError(f"user {uid}: needs at least one position")
+        return MovingUser(uid, np.array([[p.x, p.y] for p in points], dtype=float))

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by library code derive from :class:`ReproError` so
+callers can catch everything the package raises with a single handler while
+still being able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GeometryError(ReproError):
+    """Raised for degenerate or invalid geometric constructions."""
+
+
+class ProbabilityError(ReproError):
+    """Raised when a probability value or threshold is outside ``[0, 1]``."""
+
+
+class IndexError_(ReproError):
+    """Raised when a spatial index is queried or built inconsistently.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class SolverError(ReproError):
+    """Raised when a solver is configured with an infeasible instance."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset file or generator specification is invalid."""

@@ -1,0 +1,34 @@
+"""Planar geometry substrate: points, rectangles, circles and squares.
+
+Everything downstream (spatial indexes, pruning rules, solvers) is built on
+these primitives.  Coordinates are planar kilometres; see
+:class:`repro.geo.distance.EquirectangularProjection` for geographic input.
+"""
+
+from .circle import Circle
+from .distance import (
+    EARTH_RADIUS_KM,
+    EquirectangularProjection,
+    euclidean,
+    euclidean_many,
+    haversine_km,
+)
+from .point import ORIGIN, Point, midpoint
+from .rect import Rect
+from .square import SQRT2, RoundedSquare, Square
+
+__all__ = [
+    "Circle",
+    "EARTH_RADIUS_KM",
+    "EquirectangularProjection",
+    "ORIGIN",
+    "Point",
+    "Rect",
+    "RoundedSquare",
+    "SQRT2",
+    "Square",
+    "euclidean",
+    "euclidean_many",
+    "haversine_km",
+    "midpoint",
+]

@@ -1,0 +1,74 @@
+"""Circle primitive — the paper's *influence circle* ``φ(v, radius)``.
+
+An influence circle centred on an abstract facility with radius
+``mMR(τ, r)`` (or a pruning distance ``d̂``) decides influence relationships
+in the PINOCCHIO corollaries and in Lemma 1 of the MC²LS paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import GeometryError
+from .point import Point
+from .rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A closed disc ``{p : d(center, p) <= radius}``.
+
+    A zero radius is allowed (the disc degenerates to its centre); a zero
+    ``mMR`` arises naturally when the probability threshold is unreachable
+    for a given position count, so the degenerate case is deliberately legal.
+    """
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {self.radius}")
+
+    def contains_point(self, p: Point) -> bool:
+        """Return ``True`` when ``p`` lies inside or on the circle."""
+        return self.center.distance_to(p) <= self.radius
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Return ``True`` when the whole rectangle is inside the disc.
+
+        A disc contains a rectangle iff it contains the rectangle's farthest
+        corner, which is exactly the geometric core of Lemma 2.
+        """
+        return rect.max_distance_to_point(self.center) <= self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Return ``True`` when disc and rectangle share at least one point."""
+        return rect.min_distance_to_point(self.center) <= self.radius
+
+    def bounding_rect(self) -> Rect:
+        """Return the MBR of the disc."""
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def contains_mask(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorised membership test over an ``(n, 2)`` array."""
+        dx = xy[:, 0] - self.center.x
+        dy = xy[:, 1] - self.center.y
+        return dx * dx + dy * dy <= self.radius * self.radius
+
+    def count_inside(self, xy: np.ndarray) -> int:
+        """Return how many rows of an ``(n, 2)`` array fall inside."""
+        return int(self.contains_mask(xy).sum())
+
+    @property
+    def area(self) -> float:
+        """Area of the disc."""
+        return math.pi * self.radius * self.radius

@@ -1,0 +1,56 @@
+"""Two-dimensional point primitive.
+
+All geometry in this package works in a planar coordinate system whose unit
+is the kilometre (see :mod:`repro.geo.distance` for how geographic
+coordinates are projected into this space).  A :class:`Point` is an
+immutable value object; most bulk computations operate on raw ``numpy``
+arrays instead, and :class:`Point` exists for the readable, scalar cases:
+facility positions, rectangle corners and test fixtures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the plane.
+
+    Attributes:
+        x: Horizontal coordinate (km).
+        y: Vertical coordinate (km).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other`` in km."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x:.6g}, {self.y:.6g})"
+
+
+ORIGIN = Point(0.0, 0.0)
+"""The origin of the planar coordinate system."""
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Return the midpoint of segment ``ab``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)

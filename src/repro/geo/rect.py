@@ -1,0 +1,232 @@
+"""Axis-aligned rectangles and minimum bounding rectangles (MBRs).
+
+Rectangles are the workhorse of every spatial index in this package: R-tree
+nodes, quad-tree cells and IQuad-tree squares are all :class:`Rect`
+instances.  The class is immutable so rectangles can be shared freely
+between index nodes and query regions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GeometryError
+from .point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed: the MBR of
+    a single point is a degenerate rectangle and spatial indexes must handle
+    it gracefully.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(
+                f"invalid rectangle: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle (0 for degenerate rectangles)."""
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        """Perimeter of the rectangle."""
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle's diagonal."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        """Center point of the rectangle."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """Return the four corners, counter-clockwise from the lower-left."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """Return ``True`` when ``p`` lies inside or on the boundary."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """Point-in-rectangle test on raw coordinates (hot path)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return ``True`` when ``other`` is fully inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return ``True`` when the two (closed) rectangles overlap."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle covering both operands."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlap rectangle, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return this rectangle grown by ``margin`` on every side.
+
+        This is the Minkowski-sum-with-a-square operation used to build the
+        MBR of a *NIR rounded square* (Lemma 3 of the paper) and the NIB
+        region of a user (PINOCCHIO).
+        """
+        if margin < 0:
+            raise GeometryError(f"margin must be non-negative, got {margin}")
+        return Rect(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this rectangle to absorb ``other``.
+
+        Used by the R-tree ChooseLeaf heuristic (Guttman 1984).
+        """
+        return self.union(other).area - self.area
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_distance_to_point(self, p: Point) -> float:
+        """Shortest distance from ``p`` to the rectangle (0 when inside)."""
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, p: Point) -> float:
+        """Longest distance from ``p`` to any point of the rectangle.
+
+        The maximum is always attained at a corner; this is the quantity the
+        IA pruning rule compares against ``mMR(τ, r)``.
+        """
+        dx = max(abs(p.x - self.min_x), abs(p.x - self.max_x))
+        dy = max(abs(p.y - self.min_y), abs(p.y - self.max_y))
+        return math.hypot(dx, dy)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_point(p: Point) -> "Rect":
+        """Return the degenerate MBR of a single point."""
+        return Rect(p.x, p.y, p.x, p.y)
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rect":
+        """Return the MBR of a non-empty collection of points."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise GeometryError("cannot build the MBR of zero points") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for p in it:
+            min_x = min(min_x, p.x)
+            max_x = max(max_x, p.x)
+            min_y = min(min_y, p.y)
+            max_y = max(max_y, p.y)
+        return Rect(min_x, min_y, max_x, max_y)
+
+    @staticmethod
+    def from_array(xy: np.ndarray) -> "Rect":
+        """Return the MBR of an ``(n, 2)`` coordinate array."""
+        if xy.ndim != 2 or xy.shape[1] != 2 or xy.shape[0] == 0:
+            raise GeometryError(f"expected a non-empty (n, 2) array, got {xy.shape}")
+        mins = xy.min(axis=0)
+        maxs = xy.max(axis=0)
+        return Rect(float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    @staticmethod
+    def bounding(rects: Sequence["Rect"]) -> "Rect":
+        """Return the MBR of a non-empty sequence of rectangles."""
+        if not rects:
+            raise GeometryError("cannot bound zero rectangles")
+        out = rects[0]
+        for r in rects[1:]:
+            out = out.union(r)
+        return out
+
+    def contains_mask(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorised point-in-rectangle test over an ``(n, 2)`` array."""
+        x = xy[:, 0]
+        y = xy[:, 1]
+        return (
+            (x >= self.min_x) & (x <= self.max_x) & (y >= self.min_y) & (y <= self.max_y)
+        )
+
+    def count_inside(self, xy: np.ndarray) -> int:
+        """Return how many rows of an ``(n, 2)`` array fall inside."""
+        return int(self.contains_mask(xy).sum())

@@ -1,0 +1,38 @@
+"""The probability-based multi-point influence model (paper §III-A).
+
+Exports the distance-decay probability family, the cumulative influence
+evaluator with the PINOCCHIO early-stopping strategy, and the radius /
+position-count threshold math that powers every pruning rule.
+"""
+
+from .model import EvaluationStats, InfluenceEvaluator, cumulative_probability
+from .probability import (
+    ExponentialPF,
+    LinearPF,
+    PowerLawPF,
+    ProbabilityFunction,
+    SigmoidPF,
+    paper_default_pf,
+)
+from .radius import (
+    min_max_radius,
+    non_influence_radius,
+    position_count_threshold,
+    position_count_threshold_int,
+)
+
+__all__ = [
+    "EvaluationStats",
+    "ExponentialPF",
+    "InfluenceEvaluator",
+    "LinearPF",
+    "PowerLawPF",
+    "ProbabilityFunction",
+    "SigmoidPF",
+    "cumulative_probability",
+    "min_max_radius",
+    "non_influence_radius",
+    "paper_default_pf",
+    "position_count_threshold",
+    "position_count_threshold_int",
+]

@@ -1,0 +1,192 @@
+"""Distance-decay probability (utility) functions ``PF``.
+
+The influence model says a facility at distance ``d`` from one of a user's
+positions influences that position with probability ``PF(d)``, where ``PF``
+is monotonically decreasing in ``d``.  The paper's experiments use the
+logistic form ``PF(d) = ρ / (1 + e^d)`` with ``ρ = 1``; this module provides
+that function plus a family of alternatives with the same interface so the
+model can be exercised under different decay behaviours (cf. Liu et al.,
+"Learning geographical preferences for point-of-interest recommendation").
+
+Every function supports scalar and vectorised evaluation, and exposes an
+exact inverse, which the pruning machinery needs to turn probability
+thresholds back into distances (``mMR``) and position counts (``η``).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ProbabilityError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class ProbabilityFunction(ABC):
+    """A monotonically decreasing map from distance (km) to probability.
+
+    Implementations must satisfy, for all ``0 <= d1 <= d2``:
+    ``0 <= PF(d2) <= PF(d1) <= max_probability <= 1``.
+    """
+
+    @abstractmethod
+    def __call__(self, d: ArrayLike) -> ArrayLike:
+        """Evaluate ``PF(d)`` for a scalar or an array of distances."""
+
+    @abstractmethod
+    def inverse(self, p: float) -> float:
+        """Return the distance at which ``PF`` equals ``p``.
+
+        When ``p`` exceeds the function's maximum (its value at distance 0)
+        there is no such distance; implementations return ``0.0`` in that
+        case, which makes the derived ``mMR`` radius collapse to a point —
+        the correct "this threshold is unreachable" semantics for pruning.
+        """
+
+    @property
+    @abstractmethod
+    def max_probability(self) -> float:
+        """The supremum of ``PF``, attained at distance 0."""
+
+    def _check_probability(self, p: float) -> None:
+        if not 0.0 < p <= 1.0:
+            raise ProbabilityError(f"probability must be in (0, 1], got {p}")
+
+
+class SigmoidPF(ProbabilityFunction):
+    """The paper's probability function ``PF(d) = ρ / (1 + e^d)``.
+
+    With the default ``ρ = 1`` the probability at distance zero is 0.5 and
+    decays with an e-folding scale of roughly one kilometre.
+    """
+
+    def __init__(self, rho: float = 1.0) -> None:
+        if not 0.0 < rho <= 2.0:
+            # rho > 2 would push PF(0) above 1 and break the probability
+            # semantics; the paper uses rho = 1.
+            raise ProbabilityError(f"rho must be in (0, 2], got {rho}")
+        self.rho = rho
+
+    def __call__(self, d: ArrayLike) -> ArrayLike:
+        if isinstance(d, np.ndarray):
+            # exp overflows around d ~ 709; the result is 0 either way, so
+            # clamp to keep the computation warning-free.
+            return self.rho / (1.0 + np.exp(np.minimum(d, 700.0)))
+        return self.rho / (1.0 + math.exp(min(d, 700.0)))
+
+    def inverse(self, p: float) -> float:
+        self._check_probability(p)
+        if p >= self.max_probability:
+            return 0.0
+        return math.log(self.rho / p - 1.0)
+
+    @property
+    def max_probability(self) -> float:
+        return self.rho / 2.0
+
+    def __repr__(self) -> str:
+        return f"SigmoidPF(rho={self.rho})"
+
+
+class ExponentialPF(ProbabilityFunction):
+    """Exponential decay ``PF(d) = p0 * exp(-d / scale)``."""
+
+    def __init__(self, p0: float = 0.9, scale: float = 1.0) -> None:
+        if not 0.0 < p0 <= 1.0:
+            raise ProbabilityError(f"p0 must be in (0, 1], got {p0}")
+        if scale <= 0:
+            raise ProbabilityError(f"scale must be positive, got {scale}")
+        self.p0 = p0
+        self.scale = scale
+
+    def __call__(self, d: ArrayLike) -> ArrayLike:
+        if isinstance(d, np.ndarray):
+            return self.p0 * np.exp(-d / self.scale)
+        return self.p0 * math.exp(-d / self.scale)
+
+    def inverse(self, p: float) -> float:
+        self._check_probability(p)
+        if p >= self.p0:
+            return 0.0
+        return -self.scale * math.log(p / self.p0)
+
+    @property
+    def max_probability(self) -> float:
+        return self.p0
+
+    def __repr__(self) -> str:
+        return f"ExponentialPF(p0={self.p0}, scale={self.scale})"
+
+
+class LinearPF(ProbabilityFunction):
+    """Linear decay to zero at ``cutoff``: ``PF(d) = p0 * max(0, 1 - d/cutoff)``."""
+
+    def __init__(self, p0: float = 0.9, cutoff: float = 5.0) -> None:
+        if not 0.0 < p0 <= 1.0:
+            raise ProbabilityError(f"p0 must be in (0, 1], got {p0}")
+        if cutoff <= 0:
+            raise ProbabilityError(f"cutoff must be positive, got {cutoff}")
+        self.p0 = p0
+        self.cutoff = cutoff
+
+    def __call__(self, d: ArrayLike) -> ArrayLike:
+        if isinstance(d, np.ndarray):
+            return self.p0 * np.clip(1.0 - d / self.cutoff, 0.0, None)
+        return self.p0 * max(0.0, 1.0 - d / self.cutoff)
+
+    def inverse(self, p: float) -> float:
+        self._check_probability(p)
+        if p >= self.p0:
+            return 0.0
+        return self.cutoff * (1.0 - p / self.p0)
+
+    @property
+    def max_probability(self) -> float:
+        return self.p0
+
+    def __repr__(self) -> str:
+        return f"LinearPF(p0={self.p0}, cutoff={self.cutoff})"
+
+
+class PowerLawPF(ProbabilityFunction):
+    """Power-law decay ``PF(d) = p0 / (1 + d/scale)^alpha``.
+
+    A heavy-tailed alternative matching the distance-preference curves fit
+    on check-in data in the POI-recommendation literature.
+    """
+
+    def __init__(self, p0: float = 0.9, scale: float = 1.0, alpha: float = 2.0) -> None:
+        if not 0.0 < p0 <= 1.0:
+            raise ProbabilityError(f"p0 must be in (0, 1], got {p0}")
+        if scale <= 0 or alpha <= 0:
+            raise ProbabilityError("scale and alpha must be positive")
+        self.p0 = p0
+        self.scale = scale
+        self.alpha = alpha
+
+    def __call__(self, d: ArrayLike) -> ArrayLike:
+        if isinstance(d, np.ndarray):
+            return self.p0 / np.power(1.0 + d / self.scale, self.alpha)
+        return self.p0 / (1.0 + d / self.scale) ** self.alpha
+
+    def inverse(self, p: float) -> float:
+        self._check_probability(p)
+        if p >= self.p0:
+            return 0.0
+        return self.scale * ((self.p0 / p) ** (1.0 / self.alpha) - 1.0)
+
+    @property
+    def max_probability(self) -> float:
+        return self.p0
+
+    def __repr__(self) -> str:
+        return f"PowerLawPF(p0={self.p0}, scale={self.scale}, alpha={self.alpha})"
+
+
+def paper_default_pf() -> SigmoidPF:
+    """Return the probability function used throughout the paper (ρ = 1)."""
+    return SigmoidPF(rho=1.0)

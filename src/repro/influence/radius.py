@@ -1,0 +1,90 @@
+"""Influence radii and position-count thresholds.
+
+Three quantities drive all pruning in the paper:
+
+* ``mMR(τ, r)`` — the *minMaxRadius* of PINOCCHIO: the circle radius such
+  that a user with ``r`` positions all inside the circle is necessarily
+  influenced (Corollary 1), and a user with *no* position inside cannot be
+  influenced (Corollary 2).
+* ``η(τ, PF, d̂)`` — the *position count threshold* (Definition 8): the
+  number of positions within distance ``d̂`` that suffices to guarantee
+  influence.  ``η`` and ``mMR`` are inverses of one another:
+  ``η(τ, PF, mMR(τ, r)) == r``.
+* ``NIR`` — the *non-influence radius*: ``mMR(τ, r_max)`` over all users,
+  i.e. an upper bound on every user's ``mMR``, used by Lemma 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ProbabilityError
+from .probability import ProbabilityFunction
+
+
+def _check_tau(tau: float) -> None:
+    if not 0.0 < tau < 1.0:
+        raise ProbabilityError(f"tau must be in (0, 1), got {tau}")
+
+
+def min_max_radius(tau: float, r: int, pf: ProbabilityFunction) -> float:
+    """Return ``mMR(τ, r) = PF⁻¹(1 − (1 − τ)^{1/r})``.
+
+    Returns ``0.0`` when the per-position probability needed to reach ``τ``
+    with ``r`` positions exceeds ``PF``'s maximum — i.e. no positive radius
+    can guarantee influence, so the guaranteed-influence circle is empty and
+    the "cannot influence" circle degenerates to the facility itself.
+    """
+    _check_tau(tau)
+    if r < 1:
+        raise ProbabilityError(f"position count r must be >= 1, got {r}")
+    per_position = 1.0 - (1.0 - tau) ** (1.0 / r)
+    return pf.inverse(per_position)
+
+
+def position_count_threshold(tau: float, pf: ProbabilityFunction, d_hat: float) -> float:
+    """Return ``η(τ, PF, d̂) = 1 / log_{1−τ}(1 − PF(d̂))`` (Definition 8).
+
+    ``η`` is the (real-valued) number of positions at distance exactly
+    ``d̂`` needed for the cumulative probability to reach ``τ``; callers
+    take ``ceil(η)``.  Returns ``math.inf`` when ``PF(d̂)`` is zero (or
+    numerically underflows), meaning no finite count of positions at that
+    distance can ever reach the threshold.
+    """
+    _check_tau(tau)
+    if d_hat < 0:
+        raise ProbabilityError(f"distance must be non-negative, got {d_hat}")
+    p = float(pf(d_hat))
+    if p <= 0.0:
+        return math.inf
+    if p >= 1.0:
+        return 1.0
+    # log_{1-tau}(1 - p) = ln(1 - p) / ln(1 - tau); both logs are negative,
+    # so the ratio is positive.  log1p keeps precision when p is tiny
+    # (1 - p would round to exactly 1.0 and divide by zero).
+    eta = math.log(1.0 - tau) / math.log1p(-p)
+    return eta if math.isfinite(eta) else math.inf
+
+
+def position_count_threshold_int(tau: float, pf: ProbabilityFunction, d_hat: float) -> int:
+    """Return ``⌈η(τ, PF, d̂)⌉`` or a sentinel of ``2**62`` when infinite.
+
+    The integer form is what the IS rule and the IQuad-tree hash store; the
+    sentinel keeps comparisons cheap (an ``int`` beats ``math.inf`` checks
+    in the hot loop) while remaining unreachably large for real data.
+    """
+    eta = position_count_threshold(tau, pf, d_hat)
+    if math.isinf(eta) or eta >= 2**62:
+        return 2**62
+    return max(1, math.ceil(eta - 1e-12))
+
+
+def non_influence_radius(tau: float, r_max: int, pf: ProbabilityFunction) -> float:
+    """Return ``NIR = mMR(τ, r_max)`` — the paper's non-influence radius.
+
+    ``r_max`` is the maximum position count over all users in the dataset;
+    since ``mMR`` is non-decreasing in ``r``, ``NIR`` upper-bounds every
+    user's ``mMR`` and Lemma 3's rounded-square prune is sound for all of
+    them at once.
+    """
+    return min_max_radius(tau, r_max, pf)

@@ -1,0 +1,26 @@
+"""Pruning rules: IA / NIB (facility-pruning) and IS / NIR (user-pruning)."""
+
+from .regions import UserPruningRegions, regions_for
+from .rules import (
+    FacilityClassification,
+    IQuadTreeStatsView,
+    PinocchioPruner,
+    is_rule_confirms,
+    measure_iquadtree_pruning,
+    measure_pinocchio_pruning,
+    nir_rule_prunes,
+)
+from .stats import PruningStats
+
+__all__ = [
+    "FacilityClassification",
+    "IQuadTreeStatsView",
+    "PinocchioPruner",
+    "PruningStats",
+    "UserPruningRegions",
+    "is_rule_confirms",
+    "measure_iquadtree_pruning",
+    "measure_pinocchio_pruning",
+    "nir_rule_prunes",
+    "regions_for",
+]

@@ -1,0 +1,89 @@
+"""IA and NIB pruning regions (PINOCCHIO, used by adapted k-CIFP).
+
+These are the *facility-pruning* regions of Wang et al.'s PINOCCHIO,
+derived from a user's position MBR and the influence radius ``mMR(τ, r)``:
+
+* **IA (Influence Arcs)** — the locus of abstract facilities that
+  *necessarily* influence the user: every position is within ``mMR`` of
+  the facility.  Because positions lie inside the user MBR, a facility
+  whose distance to the *farthest MBR corner* is at most ``mMR`` qualifies
+  (Corollary 1).
+* **NIB (Non-Influence Boundary)** — the locus outside of which a facility
+  *cannot* influence the user: if even the *nearest point of the MBR* is
+  farther than ``mMR``, no position can be within reach (Corollary 2).
+  The NIB shape is the Minkowski sum of the MBR with a disc of radius
+  ``mMR``; its own MBR is the rectangle used for R-tree range queries.
+
+Facilities inside NIB but not inside IA fall in the interstitial region of
+Fig. 2(a) and must be verified with the exact cumulative probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..entities import MovingUser
+from ..geo import Point, Rect
+from ..influence import ProbabilityFunction, min_max_radius
+
+
+@dataclass(frozen=True)
+class UserPruningRegions:
+    """The IA/NIB machinery of one user for a fixed ``(τ, PF)``.
+
+    Attributes:
+        user: The moving user.
+        mmr: The user's influence radius ``mMR(τ, r)``.
+    """
+
+    user: MovingUser
+    mmr: float
+
+    # ------------------------------------------------------------------
+    # Query rectangles (what goes into the R-tree range query)
+    # ------------------------------------------------------------------
+    def nib_rect(self) -> Rect:
+        """MBR of the NIB region: the user MBR expanded by ``mMR``.
+
+        Any facility outside this rectangle is certainly outside NIB and
+        therefore cannot influence the user.
+        """
+        return self.user.mbr.expanded(self.mmr)
+
+    # ------------------------------------------------------------------
+    # Point classification
+    # ------------------------------------------------------------------
+    def ia_contains(self, p: Point) -> bool:
+        """``True`` when a facility at ``p`` *necessarily* influences the user.
+
+        Sound via the MBR: if the farthest MBR corner is within ``mMR``,
+        all positions are.  When ``mMR`` is 0 (threshold unreachable for
+        this position count) the IA region is empty.
+        """
+        if self.mmr <= 0.0:
+            return False
+        return self.user.mbr.max_distance_to_point(p) <= self.mmr
+
+    def nib_contains(self, p: Point) -> bool:
+        """``True`` when a facility at ``p`` might influence the user.
+
+        Exact NIB shape test (rounded rectangle): distance from ``p`` to
+        the user MBR at most ``mMR``.  ``False`` certifies non-influence.
+        """
+        return self.user.mbr.min_distance_to_point(p) <= self.mmr
+
+    def classify(self, p: Point) -> str:
+        """Classify a facility location: ``"influenced"`` (IA),
+        ``"pruned"`` (outside NIB) or ``"verify"`` (interstitial)."""
+        if self.ia_contains(p):
+            return "influenced"
+        if not self.nib_contains(p):
+            return "pruned"
+        return "verify"
+
+
+def regions_for(
+    user: MovingUser, tau: float, pf: ProbabilityFunction
+) -> UserPruningRegions:
+    """Build the IA/NIB regions of ``user`` for threshold ``τ`` and ``PF``."""
+    return UserPruningRegions(user, min_max_radius(tau, user.r, pf))

@@ -1,0 +1,72 @@
+"""Counters describing how a pruning strategy classified (facility, user) pairs.
+
+Every pruning experiment in the paper (Figs. 7–8, 15–16) reports the
+fraction of work a rule saved; these counters are the common currency the
+benchmark harness aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PruningStats:
+    """Three-way pair classification counts.
+
+    ``confirmed`` pairs were certified influenced without probability
+    evaluation; ``pruned`` pairs were certified *not* influenced; ``verify``
+    pairs fell through to the exact cumulative-probability check.
+    """
+
+    confirmed: int = 0
+    pruned: int = 0
+    verify: int = 0
+
+    @property
+    def total(self) -> int:
+        """All classified pairs."""
+        return self.confirmed + self.pruned + self.verify
+
+    @property
+    def confirmed_fraction(self) -> float:
+        """Share of pairs certified influenced (IS/IA effectiveness)."""
+        return self.confirmed / self.total if self.total else 0.0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Share of pairs certified uninfluenced (NIR/NIB effectiveness)."""
+        return self.pruned / self.total if self.total else 0.0
+
+    @property
+    def verify_fraction(self) -> float:
+        """Share of pairs needing exact verification (the residual cost)."""
+        return self.verify / self.total if self.total else 0.0
+
+    @property
+    def saved_fraction(self) -> float:
+        """Share of pairs decided without verification — the headline number."""
+        return 1.0 - self.verify_fraction if self.total else 0.0
+
+    def add(self, confirmed: int = 0, pruned: int = 0, verify: int = 0) -> None:
+        """Accumulate classified pairs."""
+        self.confirmed += confirmed
+        self.pruned += pruned
+        self.verify += verify
+
+    def merge(self, other: "PruningStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.confirmed += other.confirmed
+        self.pruned += other.pruned
+        self.verify += other.verify
+
+    def as_row(self) -> dict:
+        """Flat dict for benchmark reporting."""
+        return {
+            "confirmed": self.confirmed,
+            "pruned": self.pruned,
+            "verify": self.verify,
+            "confirmed_frac": round(self.confirmed_fraction, 4),
+            "pruned_frac": round(self.pruned_fraction, 4),
+            "verify_frac": round(self.verify_fraction, 4),
+        }

@@ -1,0 +1,13 @@
+"""Road-network extension: graph substrate and network-distance MC²LS."""
+
+from .influence import NetworkInfluenceModel, NetworkSolveResult, solve_on_network
+from .network import RoadNetwork, grid_network, radial_network
+
+__all__ = [
+    "NetworkInfluenceModel",
+    "NetworkSolveResult",
+    "RoadNetwork",
+    "grid_network",
+    "radial_network",
+    "solve_on_network",
+]

@@ -1,0 +1,11 @@
+"""FM sketches and sketch-based approximate coverage greedy (k-CIFP lineage)."""
+
+from .fm import FMSketch
+from .greedy import SketchedOutcome, exact_coverage_greedy, sketched_coverage_greedy
+
+__all__ = [
+    "FMSketch",
+    "SketchedOutcome",
+    "exact_coverage_greedy",
+    "sketched_coverage_greedy",
+]

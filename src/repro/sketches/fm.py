@@ -1,0 +1,130 @@
+"""Flajolet–Martin sketches for approximate coverage counting.
+
+The k-CIFP paper this work extends accelerated its greedy with FM
+sketches: instead of materialising the union ``Ω_G`` at every greedy
+step, each candidate's covered-user set is summarised as a small sketch,
+unions become register-wise maxima, and cardinalities are estimated in
+O(m) regardless of coverage size.
+
+The implementation is the LogLog refinement of FM (Durand–Flajolet):
+``m`` registers, each remembering the highest rank (trailing-zero count
+of the hash) among the items routed to it; the distinct count is
+estimated as ``α·m·2^(mean register value)`` with ``α ≈ 0.39701``.
+Hashing is a deterministic 64-bit mix (splitmix64) keyed by a seed, so
+sketches built anywhere from the same ids agree exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from ..exceptions import DataError
+
+# LogLog estimator constant (Durand-Flajolet), asymptotic alpha for the
+# max-rank register scheme used here; empirically calibrated within 3 %.
+_ALPHA = 0.39701
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Deterministic 64-bit mix (splitmix64 finaliser)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _rank(x: int) -> int:
+    """Position of the lowest set bit (trailing zeros); 64 for x == 0."""
+    if x == 0:
+        return 64
+    return (x & -x).bit_length() - 1
+
+
+class FMSketch:
+    """A LogLog-style FM distinct-count sketch over integer ids.
+
+    Args:
+        n_registers: Number of registers ``m`` (power of two).  More
+            registers tighten the estimate (σ ≈ 0.78/√m relative error).
+        seed: Hash seed; sketches only combine when seeds match.
+    """
+
+    __slots__ = ("n_registers", "seed", "_registers", "_shift")
+
+    def __init__(self, n_registers: int = 64, seed: int = 0):
+        if n_registers < 1 or n_registers & (n_registers - 1):
+            raise DataError(
+                f"n_registers must be a positive power of two, got {n_registers}"
+            )
+        self.n_registers = n_registers
+        self.seed = seed
+        self._registers: List[int] = [-1] * n_registers
+        self._shift = n_registers.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    def add(self, item: int) -> None:
+        """Insert an integer id (idempotent, as for any distinct counter)."""
+        h = _splitmix64(item ^ _splitmix64(self.seed))
+        register = h & (self.n_registers - 1)
+        rank = _rank(h >> self._shift)
+        if rank > self._registers[register]:
+            self._registers[register] = rank
+
+    def add_many(self, items: Iterable[int]) -> None:
+        """Insert a collection of ids."""
+        for item in items:
+            self.add(item)
+
+    # ------------------------------------------------------------------
+    def estimate(self) -> float:
+        """Estimated number of distinct inserted ids."""
+        # Registers store the max rank seen (LogLog scheme): O(1) updates
+        # and union-by-max, estimated with the Durand-Flajolet constant.
+        empty = sum(1 for r in self._registers if r < 0)
+        if empty == self.n_registers:
+            return 0.0
+        total = sum(r + 1 for r in self._registers)
+        mean = total / self.n_registers
+        raw = self.n_registers * (2.0**mean) * _ALPHA
+        # Small-range correction (linear counting on empty registers): the
+        # raw LogLog estimator biases high while registers are untouched.
+        if empty > 0 and raw < 2.5 * self.n_registers:
+            return self.n_registers * math.log(self.n_registers / empty)
+        return raw
+
+    def union(self, other: "FMSketch") -> "FMSketch":
+        """Sketch of the union of the two underlying sets (register max)."""
+        self._check_compatible(other)
+        out = FMSketch(self.n_registers, self.seed)
+        out._registers = [
+            max(a, b) for a, b in zip(self._registers, other._registers)
+        ]
+        return out
+
+    def union_update(self, other: "FMSketch") -> None:
+        """In-place union."""
+        self._check_compatible(other)
+        self._registers = [
+            max(a, b) for a, b in zip(self._registers, other._registers)
+        ]
+
+    def copy(self) -> "FMSketch":
+        """An independent copy."""
+        out = FMSketch(self.n_registers, self.seed)
+        out._registers = list(self._registers)
+        return out
+
+    def _check_compatible(self, other: "FMSketch") -> None:
+        if self.n_registers != other.n_registers or self.seed != other.seed:
+            raise DataError(
+                "sketches must share register count and seed to combine"
+            )
+
+    @staticmethod
+    def of(items: Iterable[int], n_registers: int = 64, seed: int = 0) -> "FMSketch":
+        """Build a sketch directly from ids."""
+        sketch = FMSketch(n_registers, seed)
+        sketch.add_many(items)
+        return sketch

@@ -1,0 +1,119 @@
+"""Sketch-based approximate greedy — the k-CIFP acceleration.
+
+For the *uncompeted* coverage objective ``inf(G) = |Ω_G|`` (the setting
+of the k-CIFP paper), each candidate's covered-user set is summarised as
+an FM sketch; the greedy's marginal gain for candidate ``c`` given the
+running union sketch ``S`` is estimated as
+``estimate(S ∪ sketch(c)) − estimate(S)`` — O(m) per evaluation no
+matter how large the coverage sets grow.
+
+The trade is exactness for memory/time at scale: the selection can
+deviate from the exact greedy when two candidates' gains fall within the
+sketch's noise (σ ≈ 1.3/√m relative), which the ablation bench
+quantifies against the exact coverage greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..competition import InfluenceTable
+from ..exceptions import SolverError
+from .fm import FMSketch
+
+
+@dataclass(frozen=True)
+class SketchedOutcome:
+    """Selection of the sketch-based coverage greedy.
+
+    Attributes:
+        selected: Candidate ids in greedy order.
+        estimated_coverage: The sketch's estimate of ``|Ω_G|``.
+        exact_coverage: The true ``|Ω_G|`` of the returned selection
+            (cheap to compute once at the end, for reporting).
+        gains: Estimated marginal gains per round.
+    """
+
+    selected: Tuple[int, ...]
+    estimated_coverage: float
+    exact_coverage: int
+    gains: Tuple[float, ...]
+
+
+def sketched_coverage_greedy(
+    table: InfluenceTable,
+    candidate_ids: Sequence[int],
+    k: int,
+    n_registers: int = 256,
+    seed: int = 0,
+) -> SketchedOutcome:
+    """Greedy maximisation of ``|Ω_G|`` using FM sketches.
+
+    Args:
+        table: Resolved influence relationships (only ``omega_c`` is read
+            — the plain-coverage objective ignores competition weights).
+        candidate_ids: Candidates to choose from.
+        k: Selection size.
+        n_registers: Sketch size; more registers → estimates closer to the
+            exact greedy.
+        seed: Sketch hash seed.
+    """
+    if k < 1 or k > len(candidate_ids):
+        raise SolverError(f"k={k} infeasible for {len(candidate_ids)} candidates")
+    sketches: Dict[int, FMSketch] = {
+        cid: FMSketch.of(table.omega_c.get(cid, ()), n_registers, seed)
+        for cid in candidate_ids
+    }
+    union = FMSketch(n_registers, seed)
+    current = 0.0
+    remaining = sorted(candidate_ids)
+    selected: List[int] = []
+    gains: List[float] = []
+    for _ in range(k):
+        best_cid = None
+        best_gain = -1.0
+        for cid in remaining:
+            gain = union.union(sketches[cid]).estimate() - current
+            if gain > best_gain:
+                best_gain = gain
+                best_cid = cid
+        assert best_cid is not None
+        selected.append(best_cid)
+        gains.append(best_gain)
+        union.union_update(sketches[best_cid])
+        current = union.estimate()
+        remaining.remove(best_cid)
+    covered: Set[int] = set()
+    for cid in selected:
+        covered |= table.omega_c.get(cid, set())
+    return SketchedOutcome(
+        selected=tuple(selected),
+        estimated_coverage=current,
+        exact_coverage=len(covered),
+        gains=tuple(gains),
+    )
+
+
+def exact_coverage_greedy(
+    table: InfluenceTable, candidate_ids: Sequence[int], k: int
+) -> Tuple[Tuple[int, ...], int]:
+    """Exact greedy for ``|Ω_G|`` (the sketched greedy's reference)."""
+    if k < 1 or k > len(candidate_ids):
+        raise SolverError(f"k={k} infeasible for {len(candidate_ids)} candidates")
+    covered: Set[int] = set()
+    remaining = sorted(candidate_ids)
+    selected: List[int] = []
+    for _ in range(k):
+        best_cid = None
+        best_gain = -1
+        for cid in remaining:
+            gain = len(table.omega_c.get(cid, set()) - covered)
+            if gain > best_gain:
+                best_gain = gain
+                best_cid = cid
+        assert best_cid is not None
+        selected.append(best_cid)
+        covered |= table.omega_c.get(best_cid, set())
+        remaining.remove(best_cid)
+    return tuple(selected), len(covered)

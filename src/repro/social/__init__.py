@@ -1,0 +1,27 @@
+"""Geo-social MC²LS extension (the paper's stated future work).
+
+Social graphs, Independent Cascade word-of-mouth propagation, user
+interest models and a greedy solver over the combined geo-social
+objective — all layered on top of the unmodified spatial machinery.
+"""
+
+from .graph import SocialGraph, geo_social_graph, scale_free_graph, small_world_graph
+from .interests import InterestModel, random_interest_model
+from .objective import GeoSocialObjective, geo_social_greedy
+from .propagation import CascadeSampler, simulate_cascade
+from .solver import GeoSocialResult, GeoSocialSolver
+
+__all__ = [
+    "CascadeSampler",
+    "GeoSocialObjective",
+    "GeoSocialResult",
+    "GeoSocialSolver",
+    "InterestModel",
+    "SocialGraph",
+    "geo_social_graph",
+    "geo_social_greedy",
+    "random_interest_model",
+    "scale_free_graph",
+    "simulate_cascade",
+    "small_world_graph",
+]

@@ -1,0 +1,206 @@
+"""Social graph substrate for the geo-social MC²LS extension.
+
+The paper's conclusion names the extension target: "study extended
+solution towards MC²LS in social network scenarios, incorporating social
+influence and users' interests."  This module supplies the network layer:
+an adjacency-set graph over user ids plus generators for the three graph
+shapes the geo-social LBS literature uses — small-world (Watts–Strogatz),
+scale-free (Barabási–Albert preferential attachment) and *geo-social*
+graphs in which friendship probability decays with home distance (the
+empirical regularity of Gowalla/Brightkite friendships).
+
+The graph is deliberately self-contained (plain adjacency sets) with
+``networkx`` adapters for interoperability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..entities import MovingUser
+from ..exceptions import DataError
+
+
+class SocialGraph:
+    """An undirected graph over user ids with set-based adjacency."""
+
+    def __init__(self, nodes: Iterable[int] = ()):
+        self._adj: Dict[int, Set[int]] = {int(n): set() for n in nodes}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: int) -> None:
+        """Ensure ``node`` exists (no-op when present)."""
+        self._adj.setdefault(int(node), set())
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Insert the undirected edge ``{a, b}``; self-loops are rejected."""
+        if a == b:
+            raise DataError(f"self-loop on node {a} is not allowed")
+        self.add_node(a)
+        self.add_node(b)
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: int) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def nodes(self) -> List[int]:
+        """All node ids (sorted for determinism)."""
+        return sorted(self._adj)
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Neighbour set of ``node`` (empty frozenset when unknown)."""
+        return frozenset(self._adj.get(node, ()))
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node`` (0 when unknown)."""
+        return len(self._adj.get(node, ()))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Return whether the undirected edge ``{a, b}`` exists."""
+        return b in self._adj.get(a, ())
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(small, large)``."""
+        for a in sorted(self._adj):
+            for b in sorted(self._adj[a]):
+                if a < b:
+                    yield (a, b)
+
+    def mean_degree(self) -> float:
+        """Average degree across nodes."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self.n_edges / len(self._adj)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Return the graph as a ``networkx.Graph``."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        graph.add_edges_from(self.edges())
+        return graph
+
+    @staticmethod
+    def from_networkx(graph) -> "SocialGraph":
+        """Build from a ``networkx.Graph`` (node labels must be ints)."""
+        out = SocialGraph(int(n) for n in graph.nodes)
+        for a, b in graph.edges:
+            if a != b:
+                out.add_edge(int(a), int(b))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def small_world_graph(
+    nodes: Sequence[int], k: int = 6, rewire_p: float = 0.1, seed: int = 0
+) -> SocialGraph:
+    """Watts–Strogatz small-world graph over the given node ids.
+
+    Each node connects to its ``k`` nearest ring neighbours; every edge is
+    rewired to a random target with probability ``rewire_p``.
+    """
+    if k % 2 or k < 2:
+        raise DataError(f"k must be even and >= 2, got {k}")
+    n = len(nodes)
+    if n <= k:
+        raise DataError(f"need more than k={k} nodes, got {n}")
+    rng = np.random.default_rng(seed)
+    graph = SocialGraph(nodes)
+    ordered = list(nodes)
+    for i in range(n):
+        for offset in range(1, k // 2 + 1):
+            j = (i + offset) % n
+            if rng.random() < rewire_p:
+                target = int(rng.integers(n))
+                while target == i or graph.has_edge(ordered[i], ordered[target]):
+                    target = int(rng.integers(n))
+                graph.add_edge(ordered[i], ordered[target])
+            else:
+                graph.add_edge(ordered[i], ordered[j])
+    return graph
+
+
+def scale_free_graph(nodes: Sequence[int], m: int = 3, seed: int = 0) -> SocialGraph:
+    """Barabási–Albert preferential attachment over the given node ids."""
+    n = len(nodes)
+    if n <= m or m < 1:
+        raise DataError(f"need more than m={m} nodes, got {n}")
+    rng = np.random.default_rng(seed)
+    graph = SocialGraph(nodes)
+    ordered = list(nodes)
+    # Seed clique over the first m+1 nodes.
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            graph.add_edge(ordered[i], ordered[j])
+    # Repeated-endpoint list implements degree-proportional sampling.
+    endpoints: List[int] = []
+    for a, b in graph.edges():
+        endpoints.extend((a, b))
+    for i in range(m + 1, n):
+        new = ordered[i]
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(endpoints[int(rng.integers(len(endpoints)))])
+        for t in targets:
+            graph.add_edge(new, t)
+            endpoints.extend((new, t))
+    return graph
+
+
+def geo_social_graph(
+    users: Sequence[MovingUser],
+    mean_degree: float = 8.0,
+    scale_km: float = 5.0,
+    seed: int = 0,
+) -> SocialGraph:
+    """A geo-social graph: friendship probability decays with home distance.
+
+    ``P(edge) ∝ exp(−d(home_i, home_j) / scale_km)``, normalised so the
+    expected mean degree matches ``mean_degree``.  Homes are the users'
+    position centroids.  This matches the empirical friendship-distance
+    decay of the check-in datasets the paper evaluates on.
+    """
+    n = len(users)
+    if n < 2:
+        raise DataError("need at least two users")
+    if mean_degree <= 0 or scale_km <= 0:
+        raise DataError("mean_degree and scale_km must be positive")
+    rng = np.random.default_rng(seed)
+    homes = np.array([u.positions.mean(axis=0) for u in users])
+    dx = homes[:, 0][:, None] - homes[:, 0][None, :]
+    dy = homes[:, 1][:, None] - homes[:, 1][None, :]
+    weight = np.exp(-np.sqrt(dx * dx + dy * dy) / scale_km)
+    np.fill_diagonal(weight, 0.0)
+    # Normalise: sum of upper-triangle probabilities == n * mean_degree / 2.
+    total = weight.sum() / 2.0
+    target_edges = n * mean_degree / 2.0
+    factor = min(1.0, target_edges / total) if total > 0 else 0.0
+    prob = np.clip(weight * factor, 0.0, 1.0)
+    draws = rng.random((n, n))
+    graph = SocialGraph(u.uid for u in users)
+    rows, cols = np.where((draws < prob) & (np.triu(np.ones((n, n)), k=1) > 0))
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        graph.add_edge(users[i].uid, users[j].uid)
+    return graph

@@ -1,0 +1,28 @@
+"""MC²LS solvers: exact, baseline greedy, adapted k-CIFP and IQT variants."""
+
+from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .baseline import BaselineGreedySolver
+from .budgeted import BudgetedGreedySolver
+from .capacitated import CapacitatedGreedySolver, CapacitatedOutcome
+from .exact import ExactSolver
+from .iqt import IQTSolver, IQTVariant
+from .kcifp import AdaptedKCIFPSolver
+from .selection import GreedyOutcome, greedy_select, lazy_greedy_select
+
+__all__ = [
+    "AdaptedKCIFPSolver",
+    "BaselineGreedySolver",
+    "BudgetedGreedySolver",
+    "CapacitatedGreedySolver",
+    "CapacitatedOutcome",
+    "ExactSolver",
+    "GreedyOutcome",
+    "IQTSolver",
+    "IQTVariant",
+    "MC2LSProblem",
+    "PhaseTimer",
+    "Solver",
+    "SolverResult",
+    "greedy_select",
+    "lazy_greedy_select",
+]

@@ -1,0 +1,122 @@
+"""Solver interface and result types for the MC²LS problem.
+
+An :class:`MC2LSProblem` fixes the instance (dataset, ``k``, ``τ``, ``PF``);
+a :class:`Solver` turns it into a :class:`SolverResult`.  All solvers in
+this package resolve the same influence relationships (soundly pruned,
+exactly verified) and therefore return *identical* selections — they differ
+only in how much work the resolution phase needs, which is what the
+paper's evaluation measures.  The result object carries the timing
+breakdown and work counters the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..competition import InfluenceTable
+from ..entities import SpatialDataset
+from ..exceptions import SolverError
+from ..influence import EvaluationStats, ProbabilityFunction, paper_default_pf
+from ..pruning import PruningStats
+
+
+@dataclass(frozen=True)
+class MC2LSProblem:
+    """A fully specified MC²LS instance (Definition 7).
+
+    Attributes:
+        dataset: Users ``Ω``, competitors ``F`` and candidates ``C``.
+        k: Number of locations to select.
+        tau: Influence probability threshold.
+        pf: Distance-decay probability function (paper default when ``None``).
+    """
+
+    dataset: SpatialDataset
+    k: int
+    tau: float = 0.7
+    pf: ProbabilityFunction = field(default_factory=paper_default_pf)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise SolverError(f"k must be >= 1, got {self.k}")
+        if self.k > len(self.dataset.candidates):
+            raise SolverError(
+                f"k={self.k} exceeds the {len(self.dataset.candidates)} candidates"
+            )
+        if not 0.0 < self.tau < 1.0:
+            raise SolverError(f"tau must be in (0, 1), got {self.tau}")
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one solver run.
+
+    Attributes:
+        selected: Candidate ids in greedy selection order.
+        objective: ``cinf(selected)`` under the evenly-split model.
+        table: The resolved influence relationships (``Ω_c`` / ``F_o``).
+        timings: Per-phase wall-clock seconds (keys are solver-specific;
+            ``"total"`` is always present).
+        evaluation: Probability-evaluation counters (verification cost).
+        pruning: Pair-classification counters, when the solver prunes.
+        gains: Marginal gain recorded at each greedy round.
+    """
+
+    selected: Tuple[int, ...]
+    objective: float
+    table: InfluenceTable
+    timings: Dict[str, float]
+    evaluation: EvaluationStats
+    pruning: Optional[PruningStats] = None
+    gains: Tuple[float, ...] = ()
+
+    @property
+    def total_time(self) -> float:
+        """Total wall-clock seconds, indexing plus querying."""
+        return self.timings.get("total", 0.0)
+
+
+class Solver(ABC):
+    """Base class for MC²LS solvers."""
+
+    name: str = "solver"
+
+    @abstractmethod
+    def solve(self, problem: MC2LSProblem) -> SolverResult:
+        """Solve the instance and return the selection with its metrics."""
+
+
+class PhaseTimer:
+    """Accumulates named wall-clock phases into a timings dict."""
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+        self._start = time.perf_counter()
+
+    def mark(self, name: str) -> "_Phase":
+        """Return a context manager timing one named phase."""
+        return _Phase(self, name)
+
+    def finish(self) -> Dict[str, float]:
+        """Record the total elapsed time and return the dict."""
+        self.timings["total"] = time.perf_counter() - self._start
+        return self.timings
+
+
+class _Phase:
+    def __init__(self, timer: PhaseTimer, name: str):
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._t0
+        self._timer.timings[self._name] = (
+            self._timer.timings.get(self._name, 0.0) + elapsed
+        )

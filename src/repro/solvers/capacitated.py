@@ -1,0 +1,194 @@
+"""Capacitated MC²LS: selected sites can each serve at most ``L`` users.
+
+Warehouses, clinics and parcel lockers saturate (the capacitated CLS
+variants in the paper's related work, e.g. Chen et al.'s warehouse
+placement).  With a per-site capacity ``L`` the value of a selection is
+an *assignment*: every covered user may be served by at most one selected
+site, every site serves at most ``L`` users, and the objective is the
+total evenly-split weight of the served users.
+
+For a fixed selection the optimal assignment is a maximum-weight
+b-matching; because every user has the same weight at every site that
+covers them, the greedy "serve the heaviest unserved users first" rule
+is exact per site set *given an order*, and the overall selection uses
+the standard greedy over the capacitated marginal gain.  The objective
+remains monotone submodular (it is a weighted matroid-rank-style
+coverage), so the greedy keeps a constant-factor guarantee; the exact
+assignment for the final set is recomputed globally for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..competition import InfluenceTable
+from ..exceptions import SolverError
+from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .iqt import IQTSolver
+
+
+@dataclass(frozen=True)
+class CapacitatedOutcome:
+    """Selection with the serving assignment realised at the end."""
+
+    selected: Tuple[int, ...]
+    objective: float
+    gains: Tuple[float, ...]
+    assignment: Dict[int, Tuple[int, ...]]  # cid -> served user ids
+
+
+def _assignment_value(
+    table: InfluenceTable,
+    cids: Sequence[int],
+    capacity: int,
+    weight: Dict[int, float],
+) -> Tuple[float, Dict[int, List[int]]]:
+    """Optimal maximum-weight assignment of users to capacitated sites.
+
+    A user's weight is the same at every covering site, so the servable
+    user sets form a transversal matroid: processing users in decreasing
+    weight and admitting each one iff an *augmenting path* exists (move
+    already-served users between their covering sites to free a slot)
+    yields the maximum-weight b-matching exactly.  Ties break by user id
+    then site id for determinism.
+    """
+    served: Dict[int, List[int]] = {cid: [] for cid in cids}
+    assigned_to: Dict[int, int] = {}  # uid -> cid currently serving it
+    coverers: Dict[int, List[int]] = {}
+    for cid in cids:
+        for uid in table.omega_c.get(cid, ()):
+            coverers.setdefault(uid, []).append(cid)
+    for sites in coverers.values():
+        sites.sort()
+
+    def try_serve(uid: int, blocked_sites: Set[int]) -> bool:
+        """DFS for an augmenting path admitting ``uid``."""
+        for cid in coverers[uid]:
+            if cid in blocked_sites:
+                continue
+            blocked_sites.add(cid)
+            if len(served[cid]) < capacity:
+                served[cid].append(uid)
+                assigned_to[uid] = cid
+                return True
+            # Full: try to relocate one of its users to another site.
+            for other in served[cid]:
+                if try_serve_move(other, blocked_sites):
+                    served[cid].remove(other)
+                    served[cid].append(uid)
+                    assigned_to[uid] = cid
+                    return True
+        return False
+
+    def try_serve_move(uid: int, blocked_sites: Set[int]) -> bool:
+        """Find an alternative slot for an already-served user."""
+        for cid in coverers[uid]:
+            if cid in blocked_sites:
+                continue
+            blocked_sites.add(cid)
+            if len(served[cid]) < capacity:
+                served[cid].append(uid)
+                assigned_to[uid] = cid
+                return True
+            for other in served[cid]:
+                if other == uid:
+                    continue
+                if try_serve_move(other, blocked_sites):
+                    served[cid].remove(other)
+                    served[cid].append(uid)
+                    assigned_to[uid] = cid
+                    return True
+        return False
+
+    total = 0.0
+    for uid in sorted(coverers, key=lambda u: (-weight[u], u)):
+        if try_serve(uid, set()):
+            total += weight[uid]
+    for uids in served.values():
+        uids.sort()
+    return total, served
+
+
+class CapacitatedGreedySolver(Solver):
+    """Greedy site selection under per-site capacity ``L``.
+
+    Args:
+        capacity: Maximum users one selected site can serve.
+        base_solver: Relationship-resolution solver (defaults to IQT);
+            only its influence table is used.
+    """
+
+    name = "capacitated"
+
+    def __init__(self, capacity: int, base_solver: Optional[Solver] = None):
+        if capacity < 1:
+            raise SolverError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.base_solver = base_solver or IQTSolver()
+
+    def solve(self, problem: MC2LSProblem) -> SolverResult:
+        timer = PhaseTimer()
+        with timer.mark("resolve"):
+            base = self.base_solver.solve(problem)
+        table = base.table
+        weight = {
+            uid: 1.0 / (table.competitor_count(uid) + 1)
+            for users in table.omega_c.values()
+            for uid in users
+        }
+        candidate_ids = sorted(c.fid for c in problem.dataset.candidates)
+
+        with timer.mark("greedy"):
+            selected: List[int] = []
+            gains: List[float] = []
+            current_value = 0.0
+            remaining = list(candidate_ids)
+            for _ in range(problem.k):
+                best_cid = None
+                best_value = current_value - 1.0
+                for cid in remaining:
+                    value, _ = _assignment_value(
+                        table, selected + [cid], self.capacity, weight
+                    )
+                    if value > best_value:
+                        best_value = value
+                        best_cid = cid
+                assert best_cid is not None
+                gains.append(best_value - current_value)
+                current_value = best_value
+                selected.append(best_cid)
+                remaining.remove(best_cid)
+            final_value, assignment = _assignment_value(
+                table, selected, self.capacity, weight
+            )
+
+        return SolverResult(
+            selected=tuple(selected),
+            objective=final_value,
+            table=table,
+            timings=timer.finish(),
+            evaluation=base.evaluation,
+            pruning=base.pruning,
+            gains=tuple(gains),
+        )
+
+    def outcome_details(
+        self, problem: MC2LSProblem
+    ) -> CapacitatedOutcome:
+        """Solve and return the full per-site serving assignment."""
+        result = self.solve(problem)
+        weight = {
+            uid: 1.0 / (result.table.competitor_count(uid) + 1)
+            for users in result.table.omega_c.values()
+            for uid in users
+        }
+        value, served = _assignment_value(
+            result.table, list(result.selected), self.capacity, weight
+        )
+        return CapacitatedOutcome(
+            selected=result.selected,
+            objective=value,
+            gains=result.gains,
+            assignment={cid: tuple(uids) for cid, uids in served.items()},
+        )

@@ -1,0 +1,76 @@
+"""Exact (exhaustive) solver — the ground truth for small instances.
+
+Enumerates every size-``k`` candidate combination and returns the one
+maximising ``cinf(G)``.  Exponential in ``k`` (the problem is NP-hard), so
+this exists for correctness testing and the approximation-ratio benchmark,
+not for real workloads; a guard refuses instances with too many
+combinations rather than silently burning hours.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Dict, Set
+
+from ..competition import InfluenceTable, cinf_group
+from ..exceptions import SolverError
+from ..influence import InfluenceEvaluator
+from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+
+
+class ExactSolver(Solver):
+    """Brute-force enumeration of all k-subsets.
+
+    Args:
+        max_combinations: Safety cap on ``C(n, k)``; exceeding it raises
+            :class:`SolverError` instead of running forever.
+    """
+
+    name = "exact"
+
+    def __init__(self, max_combinations: int = 2_000_000):
+        self.max_combinations = max_combinations
+
+    def solve(self, problem: MC2LSProblem) -> SolverResult:
+        dataset = problem.dataset
+        n = len(dataset.candidates)
+        n_combos = comb(n, problem.k)
+        if n_combos > self.max_combinations:
+            raise SolverError(
+                f"C({n}, {problem.k}) = {n_combos} combinations exceed the "
+                f"{self.max_combinations} cap; the exact solver is for small "
+                "instances only"
+            )
+        timer = PhaseTimer()
+        evaluator = InfluenceEvaluator(problem.pf, problem.tau, early_stopping=False)
+
+        omega_c: Dict[int, Set[int]] = {c.fid: set() for c in dataset.candidates}
+        f_o: Dict[int, Set[int]] = {u.uid: set() for u in dataset.users}
+        with timer.mark("influence"):
+            for user in dataset.users:
+                for c in dataset.candidates:
+                    if evaluator.influences(c.x, c.y, user.positions):
+                        omega_c[c.fid].add(user.uid)
+                for f in dataset.facilities:
+                    if evaluator.influences(f.x, f.y, user.positions):
+                        f_o[user.uid].add(f.fid)
+        table = InfluenceTable(omega_c, f_o)
+
+        best_group: tuple[int, ...] = ()
+        best_value = -1.0
+        with timer.mark("enumeration"):
+            cids = sorted(c.fid for c in dataset.candidates)
+            for group in combinations(cids, problem.k):
+                value = cinf_group(table, group)
+                if value > best_value:
+                    best_value = value
+                    best_group = group
+
+        return SolverResult(
+            selected=best_group,
+            objective=best_value,
+            table=table,
+            timings=timer.finish(),
+            evaluation=evaluator.stats,
+        )

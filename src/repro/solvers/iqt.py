@@ -1,0 +1,205 @@
+"""The IQuad-tree solver (paper §V-D, Algorithms 2–3) and its variants.
+
+Four phases:
+
+1. **Pruning** — build the IQuad-tree over the users; traverse it once per
+   abstract facility (memoised per leaf) to split users into
+   IS-confirmed / NIR-pruned / to-verify.
+2. **NIB integration** (variant-dependent) — R-tree range queries intersect
+   each facility's to-verify set with the users whose NIB region contains
+   the facility (Algorithm 2, lines 5–12).  The IQT-PINO variant also
+   applies the IA confirmation; plain IQT skips IA because the IS rule
+   subsumes it at lower cost (Table I); IQT-C skips NIB entirely.
+3. **Verification** — exact influence decision with the PINOCCHIO early
+   stopping strategy for every surviving pair (line 14).
+4. **Greedy selection** — the shared ``(1 − 1/e)`` greedy.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Set
+
+from ..competition import InfluenceTable
+from ..entities import AbstractFacility
+from ..influence import InfluenceEvaluator
+from ..pruning import PinocchioPruner, PruningStats
+from ..spatial import IQuadTree
+from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .selection import greedy_select
+
+
+class IQTVariant(enum.Enum):
+    """Which classical pruning rules are layered on top of IS/NIR."""
+
+    IQT = "iqt"  # IS + NIR + NIB (the paper's default)
+    IQT_C = "iqt-c"  # IS + NIR only
+    IQT_PINO = "iqt-pino"  # IS + NIR + NIB + IA
+
+
+class IQTSolver(Solver):
+    """IQuad-tree pruning + verification + greedy selection.
+
+    Args:
+        d_hat: Leaf diagonal ``d̂`` of the IQuad-tree, km (paper default 2).
+        variant: Which classical rules to combine with IS/NIR.
+        early_stopping: Use the PINOCCHIO early-stopping verification
+            (Algorithm 2 line 14); on by default as in the paper.
+        exact_rounded: Tighten the NIR rule from the rounded square's MBR
+            to the exact rounded square (ablation knob; paper uses MBR).
+    """
+
+    def __init__(
+        self,
+        d_hat: float = 2.0,
+        variant: IQTVariant = IQTVariant.IQT,
+        early_stopping: bool = True,
+        exact_rounded: bool = False,
+    ):
+        self.d_hat = d_hat
+        self.variant = variant
+        self.early_stopping = early_stopping
+        self.exact_rounded = exact_rounded
+        self.name = variant.value
+
+    # ------------------------------------------------------------------
+    def solve(self, problem: MC2LSProblem) -> SolverResult:
+        timer = PhaseTimer()
+        dataset = problem.dataset
+        evaluator = InfluenceEvaluator(
+            problem.pf, problem.tau, early_stopping=self.early_stopping
+        )
+
+        with timer.mark("index"):
+            tree = IQuadTree(
+                dataset.users,
+                d_hat=self.d_hat,
+                tau=problem.tau,
+                pf=problem.pf,
+                region=dataset.region,
+                exact_rounded=self.exact_rounded,
+            )
+
+        # Phase 1: IS/NIR pruning via one traversal per abstract facility.
+        confirmed: Dict[AbstractFacility, FrozenSet[int]] = {}
+        to_verify: Dict[AbstractFacility, Set[int]] = {}
+        with timer.mark("pruning"):
+            for v in dataset.abstract_facilities:
+                result = tree.traverse(v.x, v.y)
+                confirmed[v] = result.influenced
+                to_verify[v] = set(result.to_verify)
+
+        # Phase 2: optional NIB (and IA) integration.
+        if self.variant in (IQTVariant.IQT, IQTVariant.IQT_PINO):
+            use_ia = self.variant is IQTVariant.IQT_PINO
+            with timer.mark("nib"):
+                extra_confirmed = self._apply_nib(
+                    problem, confirmed, to_verify, use_ia=use_ia
+                )
+                if use_ia:
+                    for v, uids in extra_confirmed.items():
+                        confirmed[v] = confirmed[v] | uids
+
+        # Phase 3: exact verification of the survivors.  Candidates are
+        # verified first; competitor verification is then restricted to
+        # users influenced by at least one candidate (the same optimisation
+        # Algorithm 1 line 10 grants k-CIFP — uncovered users never enter
+        # any cinf computation).  Competitor pairs already confirmed by the
+        # traversal cost nothing and are kept for every user.
+        omega_c: Dict[int, Set[int]] = {c.fid: set() for c in dataset.candidates}
+        f_o: Dict[int, Set[int]] = {u.uid: set() for u in dataset.users}
+        users_by_uid = {u.uid: u for u in dataset.users}
+        with timer.mark("verification"):
+            for v in dataset.candidates:
+                target = omega_c[v.fid]
+                target |= confirmed[v]
+                for uid in to_verify[v]:
+                    if uid in confirmed[v]:
+                        continue
+                    if evaluator.influences(v.x, v.y, users_by_uid[uid].positions):
+                        target.add(uid)
+            influenced_uids: Set[int] = set()
+            for users in omega_c.values():
+                influenced_uids |= users
+            for v in dataset.facilities:
+                for uid in confirmed[v]:
+                    f_o[uid].add(v.fid)
+                for uid in to_verify[v]:
+                    if uid in confirmed[v] or uid not in influenced_uids:
+                        continue
+                    if evaluator.influences(v.x, v.y, users_by_uid[uid].positions):
+                        f_o[uid].add(v.fid)
+
+        # Final pair accounting: confirmed by IS (and IA for IQT-PINO),
+        # still-to-verify after every enabled rule, pruned = the rest.
+        n_pairs = len(dataset.users) * len(dataset.abstract_facilities)
+        n_confirmed = sum(len(s) for s in confirmed.values())
+        n_verify = sum(len(s) for s in to_verify.values())
+        pruning = PruningStats(
+            confirmed=n_confirmed,
+            pruned=n_pairs - n_confirmed - n_verify,
+            verify=n_verify,
+        )
+
+        table = InfluenceTable(omega_c, f_o)
+        with timer.mark("greedy"):
+            outcome = greedy_select(table, [c.fid for c in dataset.candidates], problem.k)
+
+        return SolverResult(
+            selected=outcome.selected,
+            objective=outcome.objective,
+            table=table,
+            timings=timer.finish(),
+            evaluation=evaluator.stats,
+            pruning=pruning,
+            gains=outcome.gains,
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_nib(
+        self,
+        problem: MC2LSProblem,
+        confirmed: Dict[AbstractFacility, FrozenSet[int]],
+        to_verify: Dict[AbstractFacility, Set[int]],
+        use_ia: bool,
+    ) -> Dict[AbstractFacility, Set[int]]:
+        """Intersect each facility's to-verify set with its NIB survivors.
+
+        Implements Algorithm 2 lines 5–12: two R-trees (``RT_C``, ``RT_F``)
+        are range-queried with each user's NIB rectangle; users outside a
+        facility's NIB region are removed from its verification set.  When
+        ``use_ia`` is set, users whose IA region contains the facility are
+        returned for direct confirmation (IQT-PINO).
+        """
+        dataset = problem.dataset
+        pruner_c = PinocchioPruner(
+            dataset.candidates, problem.tau, problem.pf, use_ia=use_ia
+        )
+        pruner_f = PinocchioPruner(
+            dataset.facilities, problem.tau, problem.pf, use_ia=use_ia
+        )
+        nib_possible: Dict[AbstractFacility, Set[int]] = {
+            v: set() for v in dataset.abstract_facilities
+        }
+        ia_confirmed: Dict[AbstractFacility, Set[int]] = {
+            v: set() for v in dataset.abstract_facilities
+        }
+        # NIB can only shrink verification sets, so users the NIR rule
+        # already eliminated against every facility need no NIB queries.
+        relevant: Set[int] = set()
+        for uids in to_verify.values():
+            relevant |= uids
+        for user in dataset.users:
+            if user.uid not in relevant:
+                continue
+            for pruner in (pruner_c, pruner_f):
+                result = pruner.classify_user(user)
+                for v in result.verify:
+                    nib_possible[v].add(user.uid)
+                for v in result.confirmed:  # only populated when use_ia
+                    ia_confirmed[v].add(user.uid)
+        for v in dataset.abstract_facilities:
+            allowed = nib_possible[v] | ia_confirmed[v]
+            to_verify[v] &= allowed
+            to_verify[v] -= ia_confirmed[v]
+        return ia_confirmed

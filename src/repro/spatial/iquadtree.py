@@ -1,0 +1,453 @@
+"""The IQuad-tree: the paper's user-MBR-free pruning index (§V-C).
+
+The IQuad-tree partitions the (squared-up) region into a full quad-tree
+whose leaves have diagonal at most ``d̂``.  Because the subdivision always
+quarters squares, every level is a regular ``2^l × 2^l`` grid, and a node
+is identified by the Morton (Z-order) code of its cell.  Truncating a
+Morton code by two bits yields the parent's code, so one global sort of
+all positions by leaf code serves every level of the tree: the node
+occupied by any (level, cell) is a contiguous slice, found by binary
+search.  Construction is therefore a single ``lexsort`` plus one
+``reduceat`` per level — no pointers, no per-node allocation.
+
+Per node the structure keeps the paper's entry components:
+
+* ``rect``  — implicit from ``(level, ix, iy)``;
+* ``P``     — per-(node, user) position *counts* (the IS rule only needs
+  counts) plus, at leaves, slices of the globally sorted position array
+  (the NIR rule needs coordinates);
+* ``Ω_inf`` — users IS-confirmed for the node, computed lazily on first
+  traversal and memoised (the paper's ``visited`` flag);
+* ``Ω_vrf`` — at leaves, users surviving the NIR prune, lazily memoised.
+
+The attached *Hash* structure ``{level diagonal -> η}`` is the ``_eta``
+list, giving O(1) position-count thresholds per level.
+
+Traversal (Algorithm 3) walks the root→leaf path of an abstract facility,
+unions the ``Ω_inf`` sets along the path (IS rule, Lemmas 1–2 via the
+square hierarchy of Fig. 4) and subtracts them from the leaf's ``Ω_vrf``
+(NIR rule, Lemma 3).  Results are memoised per *leaf*, which is exactly
+the paper's batch-wise property: every abstract facility in the same leaf
+reuses the first traversal's answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from ..entities import MovingUser
+from ..exceptions import IndexError_
+from ..geo import Rect, RoundedSquare, Square
+from ..influence import (
+    ProbabilityFunction,
+    non_influence_radius,
+    position_count_threshold_int,
+)
+
+_CellKey = Tuple[int, int]
+
+_MAX_DEPTH = 16  # Morton interleave below supports 16-bit cell coordinates.
+
+
+def _part1by1(n: np.ndarray | int):
+    """Spread the low 16 bits of ``n`` so a zero sits between every bit."""
+    n = n & 0x0000FFFF
+    n = (n | (n << 8)) & 0x00FF00FF
+    n = (n | (n << 4)) & 0x0F0F0F0F
+    n = (n | (n << 2)) & 0x33333333
+    n = (n | (n << 1)) & 0x55555555
+    return n
+
+
+def morton_code(ix: np.ndarray | int, iy: np.ndarray | int):
+    """Interleave two 16-bit cell coordinates into a Z-order code."""
+    return (_part1by1(iy) << 1) | _part1by1(ix)
+
+
+def _run_starts(primary: np.ndarray, secondary: np.ndarray) -> np.ndarray:
+    """Start indices of runs of equal ``(primary, secondary)`` pairs."""
+    if primary.size <= 1:
+        return np.zeros(min(primary.size, 1), dtype=np.int64)
+    change = (np.diff(primary) != 0) | (np.diff(secondary) != 0)
+    return np.concatenate(([0], np.flatnonzero(change) + 1))
+
+
+@dataclass
+class IQuadTreeStats:
+    """Counters describing pruning effectiveness (Figs. 7–8 read these)."""
+
+    traversals: int = 0
+    leaf_cache_hits: int = 0
+    omega_inf_computations: int = 0
+    omega_vrf_computations: int = 0
+    pairs_is_confirmed: int = 0
+    pairs_nir_pruned: int = 0
+    pairs_to_verify: int = 0
+
+    @property
+    def pairs_total(self) -> int:
+        """All (facility, user) relationships the traversals decided on."""
+        return self.pairs_is_confirmed + self.pairs_nir_pruned + self.pairs_to_verify
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.traversals = 0
+        self.leaf_cache_hits = 0
+        self.omega_inf_computations = 0
+        self.omega_vrf_computations = 0
+        self.pairs_is_confirmed = 0
+        self.pairs_nir_pruned = 0
+        self.pairs_to_verify = 0
+
+
+@dataclass
+class TraversalResult:
+    """Outcome of pruning one abstract facility against all users."""
+
+    influenced: FrozenSet[int]
+    to_verify: FrozenSet[int]
+
+
+class IQuadTree:
+    """The Influence Quad-tree over a moving-user population.
+
+    Args:
+        users: The user population ``Ω`` to index.
+        d_hat: Target leaf diagonal ``d̂`` in km (the paper sweeps 1–2.5).
+        tau: Influence threshold.
+        pf: Distance-decay probability function.
+        region: Spatial extent; must cover all user positions and every
+            abstract facility that will be traversed.  Typically
+            ``dataset.region``.
+        exact_rounded: When ``True`` the NIR rule tests the exact rounded
+            square instead of its MBR (``EFGH``), pruning slightly more at
+            the cost of a distance computation per position.  The paper
+            uses the MBR; the exact variant exists for the ablation bench.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[MovingUser],
+        d_hat: float,
+        tau: float,
+        pf: ProbabilityFunction,
+        region: Rect,
+        exact_rounded: bool = False,
+    ):
+        if d_hat <= 0:
+            raise IndexError_(f"d_hat must be positive, got {d_hat}")
+        if not users:
+            raise IndexError_("IQuadTree needs at least one user")
+        self.d_hat = d_hat
+        self.tau = tau
+        self.pf = pf
+        self.exact_rounded = exact_rounded
+        self.stats = IQuadTreeStats()
+
+        # Square-up the region anchored at its lower-left corner.  A
+        # degenerate (single-point) region still gets one d̂-sized leaf.
+        side = max(region.width, region.height)
+        if side <= 0:
+            side = d_hat
+        self._x0 = region.min_x
+        self._y0 = region.min_y
+        self._side = side
+
+        # Depth so the leaf diagonal (side / 2^depth * sqrt(2)) is <= d_hat.
+        root_diagonal = side * math.sqrt(2.0)
+        self.depth = max(0, math.ceil(math.log2(root_diagonal / d_hat)))
+        if self.depth > _MAX_DEPTH:
+            raise IndexError_(
+                f"d_hat={d_hat} needs tree depth {self.depth} > {_MAX_DEPTH}; "
+                "choose a larger leaf diagonal for this region"
+            )
+        self._grid = 1 << self.depth
+        self._cell_side = side / self._grid
+
+        # The eta "Hash": position-count threshold per level, keyed by the
+        # level's node diagonal.
+        self._eta: List[int] = [
+            position_count_threshold_int(tau, pf, side / (1 << level) * math.sqrt(2.0))
+            for level in range(self.depth + 1)
+        ]
+
+        self.r_max = max(u.r for u in users)
+        self.nir = non_influence_radius(tau, self.r_max, pf)
+        self.n_users = len(users)
+
+        # Lazily memoised pruning sets (the paper's `visited` flags).
+        self._omega_inf: List[Dict[int, FrozenSet[int]]] = [
+            {} for _ in range(self.depth + 1)
+        ]
+        self._omega_vrf: Dict[int, FrozenSet[int]] = {}
+        self._leaf_result_cache: Dict[int, TraversalResult] = {}
+
+        self._build(users)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, users: Sequence[MovingUser]) -> None:
+        all_pos = np.vstack([u.positions for u in users])
+        all_uid = np.repeat(
+            np.fromiter((u.uid for u in users), dtype=np.int64, count=len(users)),
+            np.fromiter((u.r for u in users), dtype=np.int64, count=len(users)),
+        )
+        ix = np.clip(
+            ((all_pos[:, 0] - self._x0) / self._cell_side).astype(np.int64),
+            0,
+            self._grid - 1,
+        )
+        iy = np.clip(
+            ((all_pos[:, 1] - self._y0) / self._cell_side).astype(np.int64),
+            0,
+            self._grid - 1,
+        )
+        codes = morton_code(ix, iy)
+        order = np.lexsort((all_uid, codes))
+        # Globally sorted position/uid/code arrays; every node at every
+        # level is a contiguous slice of these.
+        self._pos = all_pos[order]
+        self._uid = all_uid[order]
+        self._code = codes[order]
+
+        # Per level: aggregated (node code, uid) runs with position counts,
+        # sorted by (code, uid).  The leaf level falls out of the global
+        # lexsort; each coarser level aggregates the level below (after
+        # truncating codes by two bits, runs of the same user from sibling
+        # children must be re-merged, hence the per-level lexsort over the
+        # ever-shrinking run arrays).
+        self._run_codes: List[np.ndarray] = [np.empty(0)] * (self.depth + 1)
+        self._run_uids: List[np.ndarray] = [np.empty(0)] * (self.depth + 1)
+        self._run_counts: List[np.ndarray] = [np.empty(0)] * (self.depth + 1)
+
+        starts = _run_starts(self._code, self._uid)
+        self._run_codes[self.depth] = self._code[starts]
+        self._run_uids[self.depth] = self._uid[starts]
+        self._run_counts[self.depth] = np.diff(
+            np.concatenate((starts, [self._code.size]))
+        )
+        # Row-major secondary order: the NIR ring scan slices whole cell
+        # rows with two binary searches each instead of visiting cells.
+        row_keys = iy * self._grid + ix
+        row_order = np.argsort(row_keys, kind="stable")
+        self._row_keys = row_keys[row_order]
+        self._row_pos = all_pos[row_order]
+        self._row_uid = all_uid[row_order]
+        for level in range(self.depth - 1, -1, -1):
+            child_codes = self._run_codes[level + 1] >> 2
+            child_uids = self._run_uids[level + 1]
+            child_counts = self._run_counts[level + 1]
+            order = np.lexsort((child_uids, child_codes))
+            codes = child_codes[order]
+            uids = child_uids[order]
+            counts = child_counts[order]
+            starts = _run_starts(codes, uids)
+            self._run_codes[level] = codes[starts]
+            self._run_uids[level] = uids[starts]
+            self._run_counts[level] = np.add.reduceat(counts, starts)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def leaf_cell_of(self, x: float, y: float) -> _CellKey:
+        """Return the leaf cell containing ``(x, y)`` (clamped to the grid)."""
+        ix = int((x - self._x0) / self._cell_side)
+        iy = int((y - self._y0) / self._cell_side)
+        return (
+            min(max(ix, 0), self._grid - 1),
+            min(max(iy, 0), self._grid - 1),
+        )
+
+    def node_rect(self, level: int, ix: int, iy: int) -> Rect:
+        """Return the spatial extent of node ``(level, ix, iy)``."""
+        side = self._side / (1 << level)
+        x0 = self._x0 + ix * side
+        y0 = self._y0 + iy * side
+        return Rect(x0, y0, x0 + side, y0 + side)
+
+    def _rect_of_code(self, level: int, code: int) -> Rect:
+        """Node rect from a Morton code (inverse interleave, scalar path)."""
+        ix = iy = 0
+        for bit in range(level):
+            ix |= ((code >> (2 * bit)) & 1) << bit
+            iy |= ((code >> (2 * bit + 1)) & 1) << bit
+        return self.node_rect(level, ix, iy)
+
+    def level_diagonal(self, level: int) -> float:
+        """Diagonal of nodes at ``level`` (level 0 is the root)."""
+        return self._side / (1 << level) * math.sqrt(2.0)
+
+    def eta_for_level(self, level: int) -> int:
+        """Position-count threshold ``⌈η⌉`` for nodes at ``level``."""
+        return self._eta[level]
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of non-empty leaf cells."""
+        codes = self._run_codes[self.depth]
+        if codes.size == 0:
+            return 0
+        return int(np.count_nonzero(np.diff(codes)) + 1)
+
+    @property
+    def node_count(self) -> int:
+        """Number of materialised (non-empty) nodes across all levels."""
+        total = 0
+        for level in range(self.depth + 1):
+            codes = self._run_codes[level]
+            if codes.size:
+                total += int(np.count_nonzero(np.diff(codes)) + 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # Node slicing
+    # ------------------------------------------------------------------
+    def _node_slice(self, level: int, code: int) -> Tuple[int, int]:
+        """Return the [lo, hi) run-array slice of node ``code`` at ``level``."""
+        codes = self._run_codes[level]
+        lo = int(np.searchsorted(codes, code, side="left"))
+        hi = int(np.searchsorted(codes, code, side="right"))
+        return lo, hi
+
+    def _position_slice(self, code: int) -> Tuple[int, int]:
+        """Return the [lo, hi) slice of the sorted position array for a leaf."""
+        lo = int(np.searchsorted(self._code, code, side="left"))
+        hi = int(np.searchsorted(self._code, code, side="right"))
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Pruning-set computation (lazy, memoised — the `visited` flag)
+    # ------------------------------------------------------------------
+    def _omega_inf_of(self, level: int, code: int) -> FrozenSet[int]:
+        cached = self._omega_inf[level].get(code)
+        if cached is not None:
+            return cached
+        eta = self._eta[level]
+        if eta >= 2**62:
+            result: FrozenSet[int] = frozenset()
+        else:
+            lo, hi = self._node_slice(level, code)
+            counts = self._run_counts[level][lo:hi]
+            uids = self._run_uids[level][lo:hi]
+            result = frozenset(uids[counts >= eta].tolist())
+        self._omega_inf[level][code] = result
+        self.stats.omega_inf_computations += 1
+        return result
+
+    def _omega_vrf_of(self, leaf_code: int) -> FrozenSet[int]:
+        cached = self._omega_vrf.get(leaf_code)
+        if cached is not None:
+            return cached
+        self.stats.omega_vrf_computations += 1
+        rect = self._rect_of_code(self.depth, leaf_code)
+        if self.exact_rounded:
+            shape = RoundedSquare(Square.from_rect(rect), self.nir)
+            result = frozenset(self._scan(shape.mbr(), shape))
+        else:
+            result = frozenset(self._scan(rect.expanded(self.nir), None))
+        self._omega_vrf[leaf_code] = result
+        return result
+
+    def _scan(self, rect: Rect, shape: RoundedSquare | None) -> set[int]:
+        """Collect users with at least one position inside the query region.
+
+        The query rectangle spans a block of leaf-cell rows; in the
+        row-major secondary order each row's overlap is one contiguous
+        slice found by two binary searches.  All slices are concatenated
+        and masked in a single vectorised pass, then reduced to the unique
+        user ids.  ``shape`` tightens the rectangle to the exact (convex)
+        rounded square when given.
+        """
+        cell = self._cell_side
+        grid = self._grid
+        ix0 = max(0, int((rect.min_x - self._x0) / cell))
+        iy0 = max(0, int((rect.min_y - self._y0) / cell))
+        ix1 = min(grid - 1, int((rect.max_x - self._x0) / cell))
+        iy1 = min(grid - 1, int((rect.max_y - self._y0) / cell))
+        keys = self._row_keys
+        pos_chunks = []
+        uid_chunks = []
+        for iy in range(iy0, iy1 + 1):
+            base = iy * grid
+            lo = int(np.searchsorted(keys, base + ix0, side="left"))
+            hi = int(np.searchsorted(keys, base + ix1 + 1, side="left"))
+            if lo < hi:
+                pos_chunks.append(self._row_pos[lo:hi])
+                uid_chunks.append(self._row_uid[lo:hi])
+        if not pos_chunks:
+            return set()
+        positions = np.vstack(pos_chunks)
+        uids = np.concatenate(uid_chunks)
+        mask = (
+            rect.contains_mask(positions)
+            if shape is None
+            else shape.contains_mask(positions)
+        )
+        if not mask.any():
+            return set()
+        return set(np.unique(uids[mask]).tolist())
+
+    # ------------------------------------------------------------------
+    # Traversal (Algorithm 3)
+    # ------------------------------------------------------------------
+    def traverse(self, x: float, y: float) -> TraversalResult:
+        """Prune all users against an abstract facility at ``(x, y)``.
+
+        Returns the users necessarily influenced (IS rule along the
+        root-to-leaf path) and the users needing verification (NIR
+        survivors minus the confirmed ones).  Everyone else is certified
+        uninfluenced.  Results are cached per leaf, so co-located abstract
+        facilities cost one dictionary lookup (the batch-wise property).
+        """
+        self.stats.traversals += 1
+        ix, iy = self.leaf_cell_of(x, y)
+        leaf_code = int(morton_code(ix, iy))
+        cached = self._leaf_result_cache.get(leaf_code)
+        if cached is not None:
+            self.stats.leaf_cache_hits += 1
+            self._account_pairs(cached)
+            return cached
+        influenced: set[int] = set()
+        for level in range(self.depth, -1, -1):
+            influenced |= self._omega_inf_of(
+                level, leaf_code >> (2 * (self.depth - level))
+            )
+        to_verify = self._omega_vrf_of(leaf_code) - influenced
+        result = TraversalResult(frozenset(influenced), frozenset(to_verify))
+        self._leaf_result_cache[leaf_code] = result
+        self._account_pairs(result)
+        return result
+
+    def _account_pairs(self, result: TraversalResult) -> None:
+        n_is = len(result.influenced)
+        n_vrf = len(result.to_verify)
+        self.stats.pairs_is_confirmed += n_is
+        self.stats.pairs_to_verify += n_vrf
+        self.stats.pairs_nir_pruned += self.n_users - n_is - n_vrf
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and benchmarks
+    # ------------------------------------------------------------------
+    def positions_in_leaf(self, cell: _CellKey) -> Dict[int, np.ndarray]:
+        """Return the per-user position arrays stored at a leaf cell."""
+        code = int(morton_code(cell[0], cell[1]))
+        lo, hi = self._position_slice(code)
+        out: Dict[int, np.ndarray] = {}
+        uids = self._uid[lo:hi]
+        positions = self._pos[lo:hi]
+        for uid in np.unique(uids).tolist():
+            out[uid] = positions[uids == uid]
+        return out
+
+    def describe(self) -> str:
+        """One-line structural summary."""
+        return (
+            f"IQuadTree(depth={self.depth}, grid={self._grid}x{self._grid}, "
+            f"leaf_side={self._cell_side:.3f} km, leaves={self.leaf_count}, "
+            f"nodes={self.node_count}, NIR={self.nir:.3f} km)"
+        )

@@ -1,0 +1,196 @@
+"""A point-region (PR) quad-tree with capacity-based splitting.
+
+The classical Finkel–Bentley structure the paper's IQuad-tree builds on.
+This generic variant indexes points with payloads and answers rectangle
+range queries; the IQuad-tree in :mod:`repro.spatial.iquadtree` specialises
+the decomposition (fixed leaf diagonal, per-node influence bookkeeping),
+so the two share the quadrant-splitting discipline but not code — the
+IQuad-tree's regular grid admits a much faster array implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from ..exceptions import IndexError_
+from ..geo import Point, Rect
+
+
+class _QuadNode:
+    """One quad-tree cell; a leaf until it overflows, then four children."""
+
+    __slots__ = ("rect", "points", "children", "depth")
+
+    def __init__(self, rect: Rect, depth: int):
+        self.rect = rect
+        self.points: List[Tuple[Point, Any]] | None = []
+        self.children: List["_QuadNode"] | None = None
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """A PR quad-tree over a fixed bounding region.
+
+    Args:
+        region: The spatial extent; inserting a point outside it raises.
+        capacity: Leaf capacity before splitting.
+        max_depth: Hard depth cap; leaves at the cap hold any overflow
+            (guards against unbounded splitting on duplicate points).
+    """
+
+    def __init__(self, region: Rect, capacity: int = 16, max_depth: int = 16):
+        if capacity < 1:
+            raise IndexError_(f"capacity must be >= 1, got {capacity}")
+        if max_depth < 1:
+            raise IndexError_(f"max_depth must be >= 1, got {max_depth}")
+        if region.area <= 0:
+            raise IndexError_("quad-tree region must have positive area")
+        self.region = region
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _QuadNode(region, depth=0)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, point: Point, item: Any = None) -> None:
+        """Insert a payload at ``point``; the point must lie in the region."""
+        if not self.region.contains_point(point):
+            raise IndexError_(f"point {point} outside quad-tree region")
+        node = self._descend(point)
+        assert node.points is not None
+        node.points.append((point, item))
+        self._count += 1
+        if len(node.points) > self.capacity and node.depth < self.max_depth:
+            self._split(node)
+
+    def _descend(self, point: Point) -> _QuadNode:
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_for(node, point)
+        return node
+
+    @staticmethod
+    def _child_for(node: _QuadNode, point: Point) -> _QuadNode:
+        assert node.children is not None
+        cx, cy = node.rect.center.x, node.rect.center.y
+        index = (1 if point.x > cx else 0) | (2 if point.y > cy else 0)
+        return node.children[index]
+
+    def _split(self, node: _QuadNode) -> None:
+        r = node.rect
+        cx, cy = r.center.x, r.center.y
+        node.children = [
+            _QuadNode(Rect(r.min_x, r.min_y, cx, cy), node.depth + 1),  # SW
+            _QuadNode(Rect(cx, r.min_y, r.max_x, cy), node.depth + 1),  # SE
+            _QuadNode(Rect(r.min_x, cy, cx, r.max_y), node.depth + 1),  # NW
+            _QuadNode(Rect(cx, cy, r.max_x, r.max_y), node.depth + 1),  # NE
+        ]
+        points = node.points
+        node.points = None
+        assert points is not None
+        for p, item in points:
+            child = self._child_for(node, p)
+            assert child.points is not None
+            child.points.append((p, item))
+        # Cascade splits for children that are themselves over capacity
+        # (happens when all points fall in one quadrant).
+        for child in node.children:
+            if (
+                child.points is not None
+                and len(child.points) > self.capacity
+                and child.depth < self.max_depth
+            ):
+                self._split(child)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, rect: Rect) -> List[Any]:
+        """Return payloads of all points inside ``rect``."""
+        return [item for _, item in self.iter_range(rect)]
+
+    def iter_range(self, rect: Rect) -> Iterator[Tuple[Point, Any]]:
+        """Iterate ``(point, payload)`` pairs inside ``rect``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(rect):
+                continue
+            if node.is_leaf:
+                assert node.points is not None
+                for p, item in node.points:
+                    if rect.contains_point(p):
+                        yield p, item
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+
+    def nearest(self, point: Point, k: int = 1) -> List[Any]:
+        """Return the ``k`` payloads nearest to ``point`` (best-first)."""
+        import heapq
+        import itertools
+
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        heap: List[Tuple[float, int, object]] = []
+        tie = itertools.count()
+        heapq.heappush(heap, (0.0, next(tie), self._root))
+        out: List[Any] = []
+        while heap and len(out) < k:
+            dist, _, obj = heapq.heappop(heap)
+            if isinstance(obj, _QuadNode):
+                if obj.is_leaf:
+                    assert obj.points is not None
+                    for p, item in obj.points:
+                        heapq.heappush(
+                            heap, (point.distance_to(p), next(tie), (p, item))
+                        )
+                else:
+                    assert obj.children is not None
+                    for child in obj.children:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child.rect.min_distance_to_point(point),
+                                next(tie),
+                                child,
+                            ),
+                        )
+            else:  # a (point, item) pair whose distance is exact and minimal
+                out.append(obj[1])
+        return out
+
+    def depth(self) -> int:
+        """Return the maximum leaf depth actually reached."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+        return best
+
+    def leaf_count(self) -> int:
+        """Return the number of leaf cells."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+        return count

@@ -1,0 +1,402 @@
+"""A from-scratch R-tree (Guttman 1984) with quadratic split and STR bulk load.
+
+The adapted k-CIFP baseline (Algorithm 1 of the paper) indexes candidate
+locations and existing facilities in two R-trees (``RT_C`` and ``RT_F``)
+and answers the IA/NIB range queries against them.  This implementation
+supports:
+
+* dynamic insertion with Guttman's *ChooseLeaf* (least enlargement) and
+  *quadratic split*,
+* rectangle range queries (intersection semantics),
+* k-nearest-neighbour queries (best-first with a min-heap on ``mindist``),
+* Sort-Tile-Recursive (STR) bulk loading for read-mostly workloads.
+
+Items are arbitrary payloads stored with their bounding rectangle;
+facilities are points, so their rectangles are degenerate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import IndexError_
+from ..geo import Point, Rect
+
+
+class _Entry:
+    """One slot of an R-tree node: a rectangle plus payload or child node."""
+
+    __slots__ = ("rect", "item", "child")
+
+    def __init__(self, rect: Rect, item: Any = None, child: "_Node | None" = None):
+        self.rect = rect
+        self.item = item
+        self.child = child
+
+
+class _Node:
+    """An R-tree node holding up to ``max_entries`` entries."""
+
+    __slots__ = ("entries", "is_leaf", "parent")
+
+    def __init__(self, is_leaf: bool):
+        self.entries: List[_Entry] = []
+        self.is_leaf = is_leaf
+        self.parent: "_Node | None" = None
+
+    def mbr(self) -> Rect:
+        out = self.entries[0].rect
+        for e in self.entries[1:]:
+            out = out.union(e.rect)
+        return out
+
+
+class RTree:
+    """Dynamic R-tree over rectangles (Guttman's original design).
+
+    Args:
+        max_entries: Fan-out ``M`` (node capacity).  Default 8 is a good
+            fit for the point-sized facility sets this library indexes.
+        min_entries: Minimum fill ``m``; defaults to ``max_entries // 2``.
+    """
+
+    def __init__(self, max_entries: int = 8, min_entries: Optional[int] = None):
+        if max_entries < 2:
+            raise IndexError_(f"max_entries must be >= 2, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = min_entries if min_entries is not None else max_entries // 2
+        if not 1 <= self.min_entries <= max_entries // 2:
+            raise IndexError_(
+                f"min_entries must be in [1, {max_entries // 2}], got {self.min_entries}"
+            )
+        self._root = _Node(is_leaf=True)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is a single leaf)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0].child  # type: ignore[assignment]
+            h += 1
+        return h
+
+    def bounds(self) -> Optional[Rect]:
+        """MBR of all indexed items, or ``None`` when empty."""
+        if not self._root.entries:
+            return None
+        return self._root.mbr()
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, rect: Rect, item: Any) -> None:
+        """Insert ``item`` with bounding rectangle ``rect``."""
+        self._insert_entry(_Entry(rect, item=item))
+        self._count += 1
+
+    def insert_point(self, point: Point, item: Any) -> None:
+        """Insert a point payload (degenerate rectangle)."""
+        self.insert(Rect.from_point(point), item)
+
+    def _insert_entry(self, entry: _Entry) -> None:
+        leaf = self._choose_leaf(self._root, entry.rect)
+        leaf.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = leaf
+        if len(leaf.entries) > self.max_entries:
+            self._split_and_adjust(leaf)
+        else:
+            # AdjustTree: widen ancestor rectangles to cover the new entry.
+            self._adjust_path(leaf)
+
+    def _choose_leaf(self, node: _Node, rect: Rect) -> _Node:
+        while not node.is_leaf:
+            best = min(
+                node.entries,
+                key=lambda e: (e.rect.enlargement(rect), e.rect.area),
+            )
+            node = best.child  # type: ignore[assignment]
+        return node
+
+    def _split_and_adjust(self, node: _Node) -> None:
+        while len(node.entries) > self.max_entries:
+            left_entries, right_entries = self._quadratic_split(node.entries)
+            sibling = _Node(is_leaf=node.is_leaf)
+            node.entries = left_entries
+            sibling.entries = right_entries
+            if not node.is_leaf:
+                for e in node.entries:
+                    e.child.parent = node  # type: ignore[union-attr]
+                for e in sibling.entries:
+                    e.child.parent = sibling  # type: ignore[union-attr]
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(is_leaf=False)
+                for child in (node, sibling):
+                    child.parent = new_root
+                    new_root.entries.append(_Entry(child.mbr(), child=child))
+                self._root = new_root
+                return
+            # Replace the parent's entry rect for node and add the sibling.
+            for e in parent.entries:
+                if e.child is node:
+                    e.rect = node.mbr()
+                    break
+            sibling.parent = parent
+            parent.entries.append(_Entry(sibling.mbr(), child=sibling))
+            node = parent
+        # Tighten ancestor rectangles.
+        self._adjust_path(node)
+
+    def _adjust_path(self, node: _Node) -> None:
+        while node.parent is not None:
+            parent = node.parent
+            for e in parent.entries:
+                if e.child is node:
+                    e.rect = node.mbr()
+                    break
+            node = parent
+
+    def _quadratic_split(self, entries: List[_Entry]) -> Tuple[List[_Entry], List[_Entry]]:
+        """Guttman's quadratic split: seed with the worst pair, then assign."""
+        # PickSeeds: the pair wasting the most area when combined.
+        worst_waste = -math.inf
+        seed_a = seed_b = 0
+        for i, j in itertools.combinations(range(len(entries)), 2):
+            combined = entries[i].rect.union(entries[j].rect)
+            waste = combined.area - entries[i].rect.area - entries[j].rect.area
+            if waste > worst_waste:
+                worst_waste = waste
+                seed_a, seed_b = i, j
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a].rect
+        rect_b = entries[seed_b].rect
+        remaining = [e for k, e in enumerate(entries) if k not in (seed_a, seed_b)]
+        while remaining:
+            # Force assignment when one group must take everything left to
+            # reach the minimum fill.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                for e in remaining:
+                    rect_a = rect_a.union(e.rect)
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                for e in remaining:
+                    rect_b = rect_b.union(e.rect)
+                break
+            # PickNext: entry with the greatest preference for one group.
+            best_idx = 0
+            best_diff = -1.0
+            for idx, e in enumerate(remaining):
+                d1 = rect_a.enlargement(e.rect)
+                d2 = rect_b.enlargement(e.rect)
+                diff = abs(d1 - d2)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_idx = idx
+            e = remaining.pop(best_idx)
+            d1 = rect_a.enlargement(e.rect)
+            d2 = rect_b.enlargement(e.rect)
+            if d1 < d2 or (d1 == d2 and rect_a.area <= rect_b.area):
+                group_a.append(e)
+                rect_a = rect_a.union(e.rect)
+            else:
+                group_b.append(e)
+                rect_b = rect_b.union(e.rect)
+        return group_a, group_b
+
+    # ------------------------------------------------------------------
+    # Deletion (Guttman's Delete + CondenseTree)
+    # ------------------------------------------------------------------
+    def delete(self, rect: Rect, item: Any) -> bool:
+        """Remove one entry matching ``(rect, item)``; returns success.
+
+        Underfull nodes are dissolved and their surviving leaf entries
+        reinserted (CondenseTree); a root with a single child is collapsed.
+        """
+        found = self._find_leaf(self._root, rect, item)
+        if found is None:
+            return False
+        leaf, index = found
+        leaf.entries.pop(index)
+        self._count -= 1
+        self._condense(leaf)
+        return True
+
+    def delete_point(self, point: Point, item: Any) -> bool:
+        """Remove a point payload inserted with :meth:`insert_point`."""
+        return self.delete(Rect.from_point(point), item)
+
+    def _find_leaf(
+        self, node: _Node, rect: Rect, item: Any
+    ) -> Optional[Tuple[_Node, int]]:
+        if node.is_leaf:
+            for i, e in enumerate(node.entries):
+                if e.rect == rect and e.item == item:
+                    return (node, i)
+            return None
+        for e in node.entries:
+            if e.rect.contains_rect(rect):
+                found = self._find_leaf(e.child, rect, item)  # type: ignore[arg-type]
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        orphans: List[_Entry] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                # Dissolve the underfull node: unhook it from its parent
+                # and queue its leaf-level entries for reinsertion.
+                parent.entries = [e for e in parent.entries if e.child is not node]
+                orphans.extend(self._collect_leaf_entries(node))
+            else:
+                for e in parent.entries:
+                    if e.child is node:
+                        e.rect = node.mbr() if node.entries else e.rect
+                        break
+            node = parent
+        # Collapse a non-leaf root with a single child.
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0].child  # type: ignore[assignment]
+            self._root.parent = None
+        if not self._root.is_leaf and not self._root.entries:
+            self._root = _Node(is_leaf=True)
+        for entry in orphans:
+            self._insert_entry(_Entry(entry.rect, item=entry.item))
+
+    @staticmethod
+    def _collect_leaf_entries(node: _Node) -> List[_Entry]:
+        out: List[_Entry] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(current.entries)
+            else:
+                stack.extend(e.child for e in current.entries)  # type: ignore[misc]
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, rect: Rect) -> List[Any]:
+        """Return payloads whose rectangles intersect ``rect``."""
+        return list(self.iter_range(rect))
+
+    def iter_range(self, rect: Rect) -> Iterator[Any]:
+        """Iterate payloads whose rectangles intersect ``rect``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for e in node.entries:
+                if not e.rect.intersects(rect):
+                    continue
+                if node.is_leaf:
+                    yield e.item
+                else:
+                    stack.append(e.child)  # type: ignore[arg-type]
+
+    def nearest(self, point: Point, k: int = 1) -> List[Any]:
+        """Return the ``k`` payloads nearest to ``point`` (best-first search)."""
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        heap: List[Tuple[float, int, _Entry | _Node]] = []
+        tie = itertools.count()
+        heapq.heappush(heap, (0.0, next(tie), self._root))
+        out: List[Any] = []
+        while heap and len(out) < k:
+            dist, _, obj = heapq.heappop(heap)
+            if isinstance(obj, _Node):
+                for e in obj.entries:
+                    d = e.rect.min_distance_to_point(point)
+                    if obj.is_leaf:
+                        heapq.heappush(heap, (d, next(tie), e))
+                    else:
+                        heapq.heappush(heap, (d, next(tie), e.child))
+            else:  # a leaf entry — its mindist is now exact and minimal
+                out.append(obj.item)
+        return out
+
+    def items(self) -> Iterator[Tuple[Rect, Any]]:
+        """Iterate all ``(rect, item)`` pairs in the tree."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for e in node.entries:
+                if node.is_leaf:
+                    yield e.rect, e.item
+                else:
+                    stack.append(e.child)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[Tuple[Rect, Any]],
+        max_entries: int = 8,
+        min_entries: Optional[int] = None,
+    ) -> "RTree":
+        """Build an R-tree with Sort-Tile-Recursive packing.
+
+        STR produces near-perfectly packed leaves and is the standard way
+        to build an index over a static facility set.  Falls back to an
+        empty dynamic tree for zero items.
+        """
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        if not items:
+            return tree
+        leaves = tree._str_pack(
+            [_Entry(rect, item=item) for rect, item in items], is_leaf=True
+        )
+        level = leaves
+        while len(level) > 1:
+            entries = [_Entry(n.mbr(), child=n) for n in level]
+            level = tree._str_pack(entries, is_leaf=False)
+        tree._root = level[0]
+        tree._count = len(items)
+        return tree
+
+    def _str_pack(self, entries: List[_Entry], is_leaf: bool) -> List[_Node]:
+        cap = self.max_entries
+        n = len(entries)
+        n_leaves = math.ceil(n / cap)
+        n_slices = math.ceil(math.sqrt(n_leaves))
+        entries = sorted(entries, key=lambda e: e.rect.center.x)
+        slice_size = n_slices * cap
+        nodes: List[_Node] = []
+        for i in range(0, n, slice_size):
+            vertical = sorted(entries[i : i + slice_size], key=lambda e: e.rect.center.y)
+            for j in range(0, len(vertical), cap):
+                node = _Node(is_leaf=is_leaf)
+                node.entries = vertical[j : j + cap]
+                if not is_leaf:
+                    for e in node.entries:
+                        e.child.parent = node  # type: ignore[union-attr]
+                nodes.append(node)
+        return nodes
+
+    @classmethod
+    def from_points(
+        cls, points: Iterable[Tuple[Point, Any]], max_entries: int = 8
+    ) -> "RTree":
+        """Bulk-load a tree of point payloads."""
+        return cls.bulk_load(
+            [(Rect.from_point(p), item) for p, item in points], max_entries=max_entries
+        )

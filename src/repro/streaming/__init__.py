@@ -1,0 +1,5 @@
+"""Streaming extension: incremental MC²LS under user arrivals/departures."""
+
+from .dynamic import StreamingMC2LS
+
+__all__ = ["StreamingMC2LS"]

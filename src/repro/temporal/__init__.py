@@ -1,0 +1,23 @@
+"""Time-aware extension: opening windows over timestamped positions."""
+
+from .model import (
+    ALL_DAY,
+    HOURS_PER_DAY,
+    TimedInfluenceEvaluator,
+    TimedUser,
+    TimeWindow,
+    attach_hours,
+)
+from .solver import TimeAwareMC2LS, TimeAwareResult, TimedPlacement
+
+__all__ = [
+    "ALL_DAY",
+    "HOURS_PER_DAY",
+    "TimeAwareMC2LS",
+    "TimeAwareResult",
+    "TimedInfluenceEvaluator",
+    "TimedPlacement",
+    "TimedUser",
+    "TimeWindow",
+    "attach_hours",
+]

@@ -1,0 +1,57 @@
+"""Shared fixtures: small synthetic MC²LS instances."""
+
+import numpy as np
+import pytest
+
+from repro.entities import MovingUser, SpatialDataset, candidate, existing
+
+
+def build_instance(
+    seed: int = 0,
+    n_users: int = 30,
+    n_candidates: int = 12,
+    n_facilities: int = 8,
+    r: int = 10,
+    side: float = 25.0,
+    spread: float = 1.5,
+    clustered: bool = False,
+) -> SpatialDataset:
+    """A compact random instance exercising real pruning behaviour.
+
+    With ``clustered=True`` users and facilities concentrate around a few
+    hot spots (the New-York-like skew); otherwise everything is uniform
+    (the California-like shape).
+    """
+    rng = np.random.default_rng(seed)
+    if clustered:
+        hotspots = rng.uniform(side * 0.2, side * 0.8, size=(3, 2))
+
+        def draw_center():
+            return hotspots[rng.integers(len(hotspots))] + rng.normal(0, side * 0.05, 2)
+
+    else:
+
+        def draw_center():
+            return rng.uniform(2, side - 2, size=2)
+
+    users = []
+    for uid in range(n_users):
+        pos = rng.normal(draw_center(), spread, size=(r, 2))
+        users.append(MovingUser(uid, np.clip(pos, 0, side)))
+    candidates = [
+        candidate(i, *np.clip(draw_center(), 0, side)) for i in range(n_candidates)
+    ]
+    facilities = [
+        existing(i, *np.clip(draw_center(), 0, side)) for i in range(n_facilities)
+    ]
+    return SpatialDataset.build(users, facilities, candidates, name=f"inst-{seed}")
+
+
+@pytest.fixture
+def small_instance() -> SpatialDataset:
+    return build_instance(seed=1)
+
+
+@pytest.fixture
+def clustered_instance() -> SpatialDataset:
+    return build_instance(seed=2, clustered=True)

@@ -1,0 +1,108 @@
+"""Tests for the post-solve analysis utilities."""
+
+import pytest
+
+from repro.analysis import (
+    contested_share,
+    coverage_jaccard,
+    drop_one_regret,
+    marginal_curve,
+    redundancy_index,
+    selection_jaccard,
+    site_reports,
+)
+from repro.competition import InfluenceTable, cinf_group
+from repro.solvers import IQTSolver, MC2LSProblem
+
+
+@pytest.fixture
+def table():
+    return InfluenceTable.from_mappings(
+        omega_c={1: {1, 2}, 2: {2, 4}, 3: {1, 3}},
+        f_o={1: {1}, 2: {1, 2}, 3: set(), 4: {2}},
+    )
+
+
+class TestJaccard:
+    def test_selection_jaccard(self):
+        assert selection_jaccard([1, 2], [1, 2]) == 1.0
+        assert selection_jaccard([1, 2], [3, 4]) == 0.0
+        assert selection_jaccard([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+        assert selection_jaccard([], []) == 1.0
+
+    def test_coverage_jaccard_sees_through_site_identity(self, table):
+        # c1 covers {1,2}; c2 covers {2,4}: disjoint sites, overlapping users
+        assert coverage_jaccard(table, [1], [2]) == pytest.approx(1 / 3)
+        assert coverage_jaccard(table, [], []) == 1.0
+
+
+class TestSiteReports:
+    def test_exclusive_and_values(self, table):
+        reports = {r.cid: r for r in site_reports(table, [1, 3])}
+        # c1 covers {1,2}; c3 covers {1,3} -> exclusive(c1)={2}, exclusive(c3)={3}
+        assert set(reports[1].exclusive) == {2}
+        assert set(reports[3].exclusive) == {3}
+        assert reports[3].exclusive_value == pytest.approx(1.0)  # user 3 uncontested
+        assert reports[1].value == pytest.approx(1 / 2 + 1 / 3)
+
+    def test_mean_competition(self, table):
+        reports = {r.cid: r for r in site_reports(table, [2])}
+        # c2 covers users 2 (|F|=2) and 4 (|F|=1)
+        assert reports[2].mean_competition == pytest.approx(1.5)
+
+    def test_empty_site(self):
+        t = InfluenceTable.from_mappings({1: set()}, {})
+        report = site_reports(t, [1])[0]
+        assert report.value == 0.0
+        assert report.mean_competition == 0.0
+
+
+class TestRedundancy:
+    def test_disjoint_is_zero(self):
+        t = InfluenceTable.from_mappings({1: {1}, 2: {2}}, {})
+        assert redundancy_index(t, [1, 2]) == 0.0
+
+    def test_full_overlap(self):
+        t = InfluenceTable.from_mappings({1: {1, 2}, 2: {1, 2}}, {})
+        assert redundancy_index(t, [1, 2]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        t = InfluenceTable.from_mappings({1: set()}, {})
+        assert redundancy_index(t, [1]) == 0.0
+
+
+class TestMarginalCurve:
+    def test_matches_cinf_prefixes(self, table):
+        curve = marginal_curve(table, [3, 2, 1])
+        assert curve[0] == (1, pytest.approx(cinf_group(table, [3])))
+        assert curve[2] == (3, pytest.approx(cinf_group(table, [3, 2, 1])))
+        values = [v for _, v in curve]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestRegretAndContested:
+    def test_drop_one_regret(self, table):
+        regret = drop_one_regret(table, [1, 3])
+        # dropping c3 loses users {3} entirely and keeps 1 via c1
+        assert regret[3] == pytest.approx(1.0)
+        # dropping c1 loses only user 2 (user 1 still covered by c3)
+        assert regret[1] == pytest.approx(1 / 3)
+
+    def test_contested_share(self, table):
+        # covered by {1,3}: users 1 (contested), 2 (contested), 3 (not)
+        assert contested_share(table, [1, 3]) == pytest.approx(2 / 3)
+        assert contested_share(table, []) == 0.0
+
+
+class TestOnRealSolve:
+    def test_analysis_pipeline(self, small_instance):
+        result = IQTSolver().solve(MC2LSProblem(small_instance, k=4, tau=0.5))
+        reports = site_reports(result.table, result.selected)
+        assert len(reports) == 4
+        total_exclusive = sum(r.exclusive_value for r in reports)
+        assert total_exclusive <= result.objective + 1e-9
+        regret = drop_one_regret(result.table, result.selected)
+        for cid, r in regret.items():
+            assert r >= -1e-12
+        assert 0.0 <= redundancy_index(result.table, result.selected) <= 1.0
+        assert 0.0 <= contested_share(result.table, result.selected) <= 1.0

@@ -1,0 +1,74 @@
+"""Tests for the ASCII density renderer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii_viz import density_grid, render_dataset, render_density
+from repro.geo import Rect
+from tests.conftest import build_instance
+
+REGION = Rect(0, 0, 10, 10)
+
+
+class TestDensityGrid:
+    def test_counts_conserved(self):
+        rng = np.random.default_rng(0)
+        xy = rng.uniform(0, 10, size=(500, 2))
+        grid = density_grid(xy, REGION, width=16, height=8)
+        assert grid.shape == (8, 16)
+        assert grid.sum() == 500
+
+    def test_point_lands_in_right_cell(self):
+        xy = np.array([[9.99, 9.99], [0.0, 0.0]])
+        grid = density_grid(xy, REGION, width=10, height=10)
+        assert grid[9, 9] == 1  # top-right
+        assert grid[0, 0] == 1  # bottom-left
+
+    def test_out_of_region_clamps(self):
+        xy = np.array([[-5.0, 50.0]])
+        grid = density_grid(xy, REGION, width=4, height=4)
+        assert grid.sum() == 1
+
+
+class TestRenderDensity:
+    def test_dimensions(self):
+        xy = np.random.default_rng(1).uniform(0, 10, size=(100, 2))
+        art = render_density(xy, REGION, width=30, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 32 for line in lines)
+
+    def test_dense_area_uses_darker_ramp(self):
+        # all points in the bottom-left quarter
+        xy = np.random.default_rng(2).uniform(0, 3, size=(400, 2))
+        art = render_density(xy, REGION, width=20, height=10)
+        lines = art.splitlines()[1:-1]
+        top_half = "".join(lines[: len(lines) // 2])
+        bottom_half = "".join(lines[len(lines) // 2 :])
+        assert bottom_half.count("@") + bottom_half.count("%") > 0
+        assert top_half.strip("| ") == ""
+
+    def test_markers_drawn(self):
+        xy = np.zeros((1, 2))
+        art = render_density(xy, REGION, width=10, height=5, markers=[(5, 5, "X")])
+        assert "X" in art
+
+    def test_marker_outside_region_clamps(self):
+        xy = np.zeros((1, 2))
+        art = render_density(xy, REGION, width=10, height=5, markers=[(99, 99, "Z")])
+        assert "Z" in art
+
+
+class TestRenderDataset:
+    def test_contains_legend_and_overlays(self):
+        ds = build_instance(seed=1, n_users=15)
+        art = render_dataset(ds, width=40, height=12, selected=[0])
+        assert "legend" not in art  # legend text itself
+        assert "F existing" in art
+        assert "$" in art  # selected candidate marker
+        assert "c" in art
+
+    def test_no_selection(self):
+        ds = build_instance(seed=2, n_users=10)
+        art = render_dataset(ds, width=30, height=8)
+        assert "$" not in art.splitlines()[0]

@@ -1,0 +1,122 @@
+"""Tests for the experiment definitions at miniature scale.
+
+The bench suite runs these functions at full scale; here they run on
+tiny cached populations (via the scale env vars) so the experiment
+*logic* — row structure, invariants, agreement checks — is covered by
+the fast test suite too.
+"""
+
+import pytest
+
+from repro.bench import datasets
+from repro.bench.experiments import (
+    ablation_early_stopping,
+    ablation_exact_rounded,
+    ablation_greedy,
+    fig07a_rule_effect,
+    fig07b_variant_effect,
+    fig08_rule_comparison,
+    fig09_distributions,
+    fig10_vary_users,
+    fig13_vary_tau,
+    fig14_vary_k,
+    fig_dhat_leaf_diagonal,
+    table1_iqt_vs_pino,
+    table2_index_build,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_bench(monkeypatch):
+    """Shrink the cached bench populations for fast experiment runs."""
+    monkeypatch.setenv("REPRO_BENCH_USERS_C", "120")
+    monkeypatch.setenv("REPRO_BENCH_USERS_N", "100")
+    datasets.population.cache_clear()
+    datasets.dataset.cache_clear()
+    yield
+    datasets.population.cache_clear()
+    datasets.dataset.cache_clear()
+
+
+class TestRuleExperiments:
+    def test_fig07a_rows(self):
+        rows = fig07a_rule_effect("N")
+        assert len(rows) == 5  # one per tau
+        for row in rows:
+            total = (
+                row["IS_confirmed_frac"]
+                + row["NIR_pruned_frac"]
+                + row["verify_frac"]
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_fig07b_monotone_variants(self):
+        rows = fig07b_variant_effect("N")
+        for row in rows:
+            assert row["iqt_saved_frac"] >= row["iqt-c_saved_frac"] - 1e-9
+            assert row["iqt-pino_saved_frac"] >= row["iqt_saved_frac"] - 1e-9
+
+    def test_fig08_fractions_bounded(self):
+        rows = fig08_rule_comparison("C")
+        for row in rows:
+            for key in ("IS_confirmed", "IA_confirmed", "NIR_pruned", "NIB_pruned"):
+                assert 0.0 <= row[key] <= 1.0
+
+
+class TestDatasetExperiments:
+    def test_fig09_contrast(self):
+        rows = fig09_distributions()
+        by = {r["dataset"]: r for r in rows}
+        assert by["N-like"]["gini"] > by["C-like"]["gini"]
+
+    def test_table2_per_object_costs(self):
+        rows = table2_index_build()
+        for row in rows:
+            assert row["IQuadTree_s"] > 0
+            assert row["RT_ms_per_obj"] > 0
+
+
+class TestRuntimeSweeps:
+    def test_fig10_row_shape_and_agreement(self):
+        rows = fig10_vary_users("N")
+        assert len(rows) == 5
+        assert rows[-1]["users"] > rows[0]["users"]
+        for row in rows:
+            for name in ("baseline", "k-cifp", "iqt-c", "iqt"):
+                assert row[f"{name}_s"] > 0
+                assert row[f"{name}_evals"] >= 0
+
+    def test_fig13_baseline_flat(self):
+        rows = fig13_vary_tau("N")
+        times = [r["baseline_s"] for r in rows]
+        assert max(times) < 4 * min(times)
+
+    def test_fig14_contains_all_k(self):
+        rows = fig14_vary_k("N")
+        assert [r["k"] for r in rows] == [5, 10, 15, 20, 25]
+
+    def test_table1_shape(self):
+        rows = table1_iqt_vs_pino("N")
+        assert [r["abstract_facilities"] for r in rows] == [300, 500, 700, 900, 1100]
+
+    def test_dhat_rows(self):
+        rows = fig_dhat_leaf_diagonal("N")
+        assert [r["d_hat_km"] for r in rows] == [1.0, 1.5, 2.0, 2.5]
+        for row in rows:
+            assert 0 <= row["index_share"] <= 1
+
+
+class TestAblations:
+    def test_early_stopping_touches_fewer(self):
+        rows = {r["early_stopping"]: r for r in ablation_early_stopping("N")}
+        assert rows[True]["positions_touched"] <= rows[False]["positions_touched"]
+        assert rows[True]["evaluations"] == rows[False]["evaluations"]
+
+    def test_exact_rounded_prunes_no_less(self):
+        rows = {r["exact_rounded"]: r for r in ablation_exact_rounded("N")}
+        assert rows[True]["pruned_frac"] >= rows[False]["pruned_frac"] - 1e-9
+
+    def test_greedy_ablation_invariants(self):
+        row = ablation_greedy("N")[0]
+        assert row["lazy_evals"] <= row["eager_evals"]
+        assert row["guarantee"] < row["greedy_over_exact"] <= 1.0 + 1e-9

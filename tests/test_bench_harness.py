@@ -1,0 +1,75 @@
+"""Tests for the benchmark harness plumbing (reporting, dataset cache)."""
+
+import os
+
+import pytest
+
+from repro.bench import clear_registry, format_table, record_table, registered_tables
+from repro.bench.datasets import bench_users
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_order(self):
+        rows = [
+            {"name": "a", "value": 1.23456789, "count": 10},
+            {"name": "long-name", "value": 0.5, "count": 2},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "value", "count"]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.235" in lines[2]  # 4 significant digits
+        assert "long-name" in lines[3]
+
+    def test_explicit_headers_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, headers=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+        assert "2" not in text.splitlines()[2]
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        text = format_table(rows, headers=["a", "b"])
+        assert "9" in text
+
+
+class TestRecordTable:
+    def test_registry_and_persistence(self, tmp_path):
+        clear_registry()
+        rows = [{"x": 1, "y": 2.5}]
+        rendered = record_table("My Table: test/1", rows, results_dir=tmp_path)
+        assert "x" in rendered
+        titles = [t for t, _ in registered_tables()]
+        assert "My Table: test/1" in titles
+        files = list(tmp_path.glob("*.txt"))
+        assert len(files) == 1
+        content = files[0].read_text()
+        assert "My Table" in content and "2.5" in content
+        clear_registry()
+        assert registered_tables() == []
+
+    def test_unwritable_results_dir_is_non_fatal(self):
+        clear_registry()
+        rendered = record_table(
+            "t", [{"a": 1}], results_dir="/proc/definitely/not/writable"
+        )
+        assert "a" in rendered
+        clear_registry()
+
+
+class TestBenchUsers:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_USERS_C", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_USERS_N", raising=False)
+        assert bench_users("C") > bench_users("N")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_USERS_C", "123")
+        assert bench_users("C") == 123
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            bench_users("X")

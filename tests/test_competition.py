@@ -1,0 +1,167 @@
+"""Unit tests for the competition layer (evenly split + extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.competition import (
+    DistanceWeightedModel,
+    EvenlySplitModel,
+    InfluenceTable,
+    cinf_candidate,
+    cinf_group,
+    cinf_user,
+    covered_users,
+)
+from repro.entities import MovingUser, existing
+from repro.exceptions import SolverError
+from repro.influence import paper_default_pf
+
+
+@pytest.fixture
+def paper_example_table() -> InfluenceTable:
+    """The influence relationships of the paper's Examples 1/3/4.
+
+    c1 -> {o1, o2}, c2 -> {o2, o4}, c3 -> {o1, o3};
+    f1 -> {o1, o2}, f2 -> {o2, o4}.
+    """
+    return InfluenceTable.from_mappings(
+        omega_c={1: {1, 2}, 2: {2, 4}, 3: {1, 3}},
+        f_o={1: {1}, 2: {1, 2}, 3: set(), 4: {2}},
+    )
+
+
+class TestInfluenceTable:
+    def test_competitor_count(self, paper_example_table):
+        t = paper_example_table
+        assert t.competitor_count(1) == 1
+        assert t.competitor_count(2) == 2
+        assert t.competitor_count(3) == 0
+        assert t.competitor_count(99) == 0  # untracked user
+
+    def test_influenced_users(self, paper_example_table):
+        assert paper_example_table.influenced_users() == frozenset({1, 2, 3, 4})
+
+    def test_validate_against(self, paper_example_table):
+        paper_example_table.validate_against({1, 2, 3})
+        with pytest.raises(SolverError):
+            paper_example_table.validate_against({1, 2})
+
+    def test_from_mappings_copies(self):
+        omega = {1: {1}}
+        t = InfluenceTable.from_mappings(omega, {})
+        omega[1].add(2)
+        assert t.omega_c[1] == {1}
+
+
+class TestEvenlySplitFunctions:
+    def test_paper_example_3_group_values(self, paper_example_table):
+        """cinf({c1,c2}) = 4/3 and cinf({c1,c3}) = 11/6 (Example 3)."""
+        t = paper_example_table
+        assert cinf_group(t, [1, 2]) == pytest.approx(4.0 / 3.0)
+        assert cinf_group(t, [1, 3]) == pytest.approx(11.0 / 6.0)
+
+    def test_paper_example_4_candidate_values(self, paper_example_table):
+        """cinf(c1) = 5/6, cinf(c2) = 5/6, cinf(c3) = 3/2 (Example 4)."""
+        t = paper_example_table
+        assert cinf_candidate(t, 1) == pytest.approx(5.0 / 6.0)
+        assert cinf_candidate(t, 2) == pytest.approx(5.0 / 6.0)
+        assert cinf_candidate(t, 3) == pytest.approx(3.0 / 2.0)
+
+    def test_paper_example_4_second_round(self, paper_example_table):
+        """After selecting c3, the marginal gains on Ω \\ {o1, o3}.
+
+        cinf(c2) = 1/3 + 1/2 = 5/6 matches the paper.  For c1 the paper
+        prints 1/2, but with its own F_{o2} = {f1, f2} the remaining user o2
+        is worth 1/(2+1) = 1/3 — the printed 1/2 is a typo (it contradicts
+        the 5/6 derived for c2 from the same F_{o2}).  The selection outcome
+        (c2 wins the second round) is identical either way.
+        """
+        t = paper_example_table
+        captured = covered_users(t, [3])
+        assert captured == {1, 3}
+        assert cinf_candidate(t, 1, excluded=captured) == pytest.approx(1.0 / 3.0)
+        assert cinf_candidate(t, 2, excluded=captured) == pytest.approx(5.0 / 6.0)
+
+    def test_cinf_user(self, paper_example_table):
+        assert cinf_user(paper_example_table, 3) == 1.0
+        assert cinf_user(paper_example_table, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_candidate_is_zero(self, paper_example_table):
+        assert cinf_candidate(paper_example_table, 42) == 0.0
+
+    def test_group_counts_overlap_once(self):
+        t = InfluenceTable.from_mappings({1: {1, 2}, 2: {2, 3}}, {})
+        # users 1,2,3 each weigh 1 (no competitors); overlap on 2 not doubled
+        assert cinf_group(t, [1, 2]) == pytest.approx(3.0)
+
+
+class TestMonotoneSubmodular:
+    """cinf(.) must be monotone and submodular (Theorem 2 preconditions)."""
+
+    def random_table(self, seed):
+        rng = np.random.default_rng(seed)
+        omega = {
+            cid: set(rng.choice(30, size=rng.integers(0, 10), replace=False).tolist())
+            for cid in range(8)
+        }
+        f_o = {
+            uid: set(rng.choice(5, size=rng.integers(0, 4), replace=False).tolist())
+            for uid in range(30)
+        }
+        return InfluenceTable.from_mappings(omega, f_o)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_monotone(self, seed):
+        t = self.random_table(seed)
+        rng = np.random.default_rng(seed + 100)
+        group = []
+        prev = 0.0
+        for cid in rng.permutation(8).tolist():
+            group.append(cid)
+            val = cinf_group(t, group)
+            assert val >= prev - 1e-12
+            prev = val
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_submodular(self, seed):
+        t = self.random_table(seed)
+        # For H subset G and c not in G: gain(H, c) >= gain(G, c)
+        h = [0, 1]
+        g = [0, 1, 2, 3]
+        for c in [4, 5, 6, 7]:
+            gain_h = cinf_group(t, h + [c]) - cinf_group(t, h)
+            gain_g = cinf_group(t, g + [c]) - cinf_group(t, g)
+            assert gain_h >= gain_g - 1e-12
+
+
+class TestCompetitionModels:
+    def test_evenly_split_model_matches_functions(self, paper_example_table):
+        m = EvenlySplitModel()
+        t = paper_example_table
+        assert m.group_value(t, [1, 3]) == pytest.approx(cinf_group(t, [1, 3]))
+        assert m.candidate_value(t, 3) == pytest.approx(cinf_candidate(t, 3))
+
+    def test_distance_weighted_shares_sum_sensibly(self):
+        pf = paper_default_pf()
+        users = {
+            1: MovingUser(1, np.array([[0.0, 0.0], [0.5, 0.5]])),
+        }
+        facilities = {10: existing(10, 0.2, 0.2), 11: existing(11, 50.0, 50.0)}
+        t = InfluenceTable.from_mappings({0: {1}}, {1: {10}})
+        m = DistanceWeightedModel(users, facilities, pf, candidate_utility=0.5)
+        share = m.user_share(t, 1)
+        assert 0.0 < share < 1.0
+        # A user with no competitor gives the candidate a full share.
+        t2 = InfluenceTable.from_mappings({0: {1}}, {1: set()})
+        m2 = DistanceWeightedModel(users, facilities, pf)
+        assert m2.user_share(t2, 1) == pytest.approx(1.0)
+
+    def test_distance_weighted_more_competitors_less_share(self):
+        pf = paper_default_pf()
+        users = {1: MovingUser(1, np.array([[0.0, 0.0]]))}
+        facilities = {10: existing(10, 0.1, 0.1), 11: existing(11, 0.2, 0.0)}
+        m = DistanceWeightedModel(users, facilities, pf)
+        one = m.user_share(InfluenceTable.from_mappings({0: {1}}, {1: {10}}), 1)
+        m2 = DistanceWeightedModel(users, facilities, pf)
+        two = m2.user_share(InfluenceTable.from_mappings({0: {1}}, {1: {10, 11}}), 1)
+        assert two < one

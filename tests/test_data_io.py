@@ -1,0 +1,110 @@
+"""Tests for dataset/result serialisation and synthetic check-in files."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_checkins,
+    load_dataset_npz,
+    load_result_json,
+    result_to_dict,
+    save_dataset_npz,
+    save_result_json,
+    write_checkin_file,
+)
+from repro.exceptions import DataError
+from repro.solvers import IQTSolver, MC2LSProblem
+from tests.conftest import build_instance
+
+
+class TestNpzRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        ds = build_instance(seed=3, n_users=15, n_candidates=6, n_facilities=4)
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(ds, path)
+        back = load_dataset_npz(path)
+        assert back.name == ds.name
+        assert len(back.users) == len(ds.users)
+        by_uid = {u.uid: u for u in back.users}
+        for u in ds.users:
+            assert np.allclose(np.sort(by_uid[u.uid].positions, axis=0),
+                               np.sort(u.positions, axis=0))
+        assert [(f.fid, f.x, f.y) for f in back.facilities] == [
+            (f.fid, f.x, f.y) for f in ds.facilities
+        ]
+        assert [(c.fid, c.x, c.y) for c in back.candidates] == [
+            (c.fid, c.x, c.y) for c in ds.candidates
+        ]
+
+    def test_roundtrip_solves_identically(self, tmp_path):
+        ds = build_instance(seed=4, n_users=20)
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(ds, path)
+        back = load_dataset_npz(path)
+        a = IQTSolver().solve(MC2LSProblem(ds, k=3, tau=0.5))
+        b = IQTSolver().solve(MC2LSProblem(back, k=3, tau=0.5))
+        assert a.selected == b.selected
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_dataset_npz(tmp_path / "nope.npz")
+
+    def test_no_facilities_edge_case(self, tmp_path):
+        ds = build_instance(seed=5, n_users=5, n_facilities=0)
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(ds, path)
+        back = load_dataset_npz(path)
+        assert back.facilities == ()
+
+
+class TestResultJson:
+    def test_roundtrip(self, tmp_path):
+        ds = build_instance(seed=6, n_users=15)
+        result = IQTSolver().solve(MC2LSProblem(ds, k=3, tau=0.5))
+        path = tmp_path / "result.json"
+        save_result_json(result, path)
+        loaded = load_result_json(path)
+        assert loaded["selected"] == list(result.selected)
+        assert loaded["objective"] == pytest.approx(result.objective)
+        assert set(loaded["coverage"]) == {str(c) for c in result.selected}
+        assert loaded["evaluations"] == result.evaluation.total_evaluations
+
+    def test_dict_is_json_safe(self):
+        ds = build_instance(seed=7, n_users=10)
+        result = IQTSolver().solve(MC2LSProblem(ds, k=2, tau=0.5))
+        import json
+
+        json.dumps(result_to_dict(result))  # must not raise
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_result_json(tmp_path / "nope.json")
+
+
+class TestWriteCheckinFile:
+    def test_file_loads_back(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        n = write_checkin_file(path, n_users=40, seed=1)
+        assert n > 0
+        data = load_checkins(path)
+        assert 1 <= len(data.users) <= 40
+        assert data.pois.shape[0] > 0
+
+    def test_clustered_flag_changes_output(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        write_checkin_file(a, n_users=30, seed=2, clustered=False)
+        write_checkin_file(b, n_users=30, seed=2, clustered=True)
+        assert a.read_text() != b.read_text()
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        write_checkin_file(a, n_users=20, seed=3)
+        write_checkin_file(b, n_users=20, seed=3)
+        assert a.read_text() == b.read_text()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(DataError):
+            write_checkin_file(tmp_path / "x.txt", n_users=0)

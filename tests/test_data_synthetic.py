@@ -1,0 +1,110 @@
+"""Tests for the calibrated synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticSpec,
+    california_like,
+    california_spec,
+    compute_stats,
+    generate_population,
+    new_york_like,
+    new_york_spec,
+)
+from repro.exceptions import DataError
+
+
+class TestSpecValidation:
+    def test_bad_values(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(0, 10, 50, 0.05, 0, 0.0, 100)
+        with pytest.raises(DataError):
+            SyntheticSpec(10, 1, 50, 0.05, 0, 0.0, 100)
+        with pytest.raises(DataError):
+            SyntheticSpec(10, 10, 50, 1.5, 0, 0.0, 100)
+        with pytest.raises(DataError):
+            SyntheticSpec(10, 10, -1, 0.05, 0, 0.0, 100)
+
+
+class TestGeneratePopulation:
+    def test_counts_and_min_positions(self):
+        pop = generate_population(california_spec(n_users=100), seed=0)
+        assert len(pop.users) == 100
+        assert all(u.r >= 2 for u in pop.users)
+        assert pop.pois.shape == (2000, 2)
+
+    def test_deterministic_with_seed(self):
+        a = generate_population(california_spec(n_users=30), seed=5)
+        b = generate_population(california_spec(n_users=30), seed=5)
+        for ua, ub in zip(a.users, b.users):
+            assert np.array_equal(ua.positions, ub.positions)
+
+    def test_different_seeds_differ(self):
+        a = generate_population(california_spec(n_users=30), seed=1)
+        b = generate_population(california_spec(n_users=30), seed=2)
+        assert not np.array_equal(a.users[0].positions, b.users[0].positions)
+
+    def test_positions_inside_region(self):
+        spec = new_york_spec(n_users=50)
+        pop = generate_population(spec, seed=0)
+        for u in pop.users:
+            assert u.positions.min() >= 0.0
+            assert u.positions.max() <= spec.side
+
+
+class TestCalibration:
+    """The generated populations must match the paper's fingerprints."""
+
+    def test_california_mean_positions(self):
+        pop = generate_population(california_spec(n_users=400), seed=0)
+        mean_r = np.mean([u.r for u in pop.users])
+        assert 28 <= mean_r <= 48  # target 37.5, heavy-tailed draw
+
+    def test_new_york_mean_positions(self):
+        pop = generate_population(new_york_spec(n_users=400), seed=0)
+        mean_r = np.mean([u.r for u in pop.users])
+        assert 9 <= mean_r <= 17  # target 12.5
+
+    def test_mbr_ratio_calibration(self):
+        ds = california_like(n_users=300, n_candidates=20, n_facilities=20, seed=3)
+        stats = compute_stats(ds)
+        # target 0.085; generous band because MBRs clip at the region edge
+        assert 0.03 <= stats.mean_mbr_area_ratio <= 0.17
+
+    def test_new_york_more_skewed_than_california(self):
+        c = california_like(n_users=300, n_candidates=20, n_facilities=20, seed=0)
+        n = new_york_like(n_users=300, n_candidates=20, n_facilities=20, seed=0)
+        c_stats = compute_stats(c)
+        n_stats = compute_stats(n)
+        assert n_stats.gini_cell_occupancy > c_stats.gini_cell_occupancy
+
+    def test_new_york_smaller_mbr_ratio(self):
+        c = california_like(n_users=300, n_candidates=20, n_facilities=20, seed=0)
+        n = new_york_like(n_users=300, n_candidates=20, n_facilities=20, seed=0)
+        assert (
+            compute_stats(n).mean_mbr_area_ratio
+            < compute_stats(c).mean_mbr_area_ratio
+        )
+
+    def test_long_tail_supports_effect_of_r_protocol(self):
+        """Some users must have > 30 positions for the Fig. 15/16 protocol."""
+        pop = generate_population(california_spec(n_users=400), seed=0)
+        assert sum(1 for u in pop.users if u.r > 30) > 20
+
+
+class TestDatasetSampling:
+    def test_disjoint_candidate_facility_sets(self):
+        ds = california_like(n_users=50, n_candidates=30, n_facilities=30, seed=0)
+        cand_locs = {(c.x, c.y) for c in ds.candidates}
+        fac_locs = {(f.x, f.y) for f in ds.facilities}
+        assert not (cand_locs & fac_locs)
+
+    def test_poi_pool_exhaustion_raises(self):
+        pop = generate_population(california_spec(n_users=10), seed=0)
+        with pytest.raises(DataError):
+            pop.dataset(n_candidates=1500, n_facilities=1500)
+
+    def test_names(self):
+        assert california_like(n_users=20, n_candidates=5, n_facilities=5).name == "C-like"
+        assert new_york_like(n_users=20, n_candidates=5, n_facilities=5).name == "N-like"

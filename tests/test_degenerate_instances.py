@@ -1,0 +1,125 @@
+"""Failure-injection and degenerate-instance tests.
+
+Every solver must handle the pathological shapes a production system
+actually meets: single users, co-located everything, unreachable
+thresholds, facilities stacked on candidates, k equal to |C|.
+"""
+
+import numpy as np
+import pytest
+
+from repro.entities import MovingUser, SpatialDataset, candidate, existing
+from repro.solvers import (
+    AdaptedKCIFPSolver,
+    BaselineGreedySolver,
+    IQTSolver,
+    IQTVariant,
+    MC2LSProblem,
+)
+
+ALL_SOLVERS = [
+    BaselineGreedySolver(),
+    AdaptedKCIFPSolver(),
+    IQTSolver(variant=IQTVariant.IQT_C),
+    IQTSolver(),
+]
+
+
+def solve_all(dataset, k, tau):
+    problem = MC2LSProblem(dataset, k=k, tau=tau)
+    results = [s.solve(problem) for s in ALL_SOLVERS]
+    first = results[0]
+    for r in results[1:]:
+        assert r.selected == first.selected
+        assert r.objective == pytest.approx(first.objective)
+    return first
+
+
+class TestDegenerateInstances:
+    def test_single_user_single_candidate(self):
+        ds = SpatialDataset.build(
+            [MovingUser(0, np.zeros((3, 2)))],
+            [],
+            [candidate(0, 0.1, 0.1)],
+        )
+        result = solve_all(ds, k=1, tau=0.5)
+        assert result.selected == (0,)
+        assert result.objective == pytest.approx(1.0)
+
+    def test_everything_colocated(self):
+        """All users, candidates and competitors on one spot."""
+        users = [MovingUser(uid, np.zeros((4, 2))) for uid in range(5)]
+        cands = [candidate(i, 0.0, 0.0) for i in range(3)]
+        facs = [existing(i, 0.0, 0.0) for i in range(2)]
+        ds = SpatialDataset.build(users, facs, cands)
+        result = solve_all(ds, k=2, tau=0.5)
+        # every candidate covers everyone; every user fights 2 competitors
+        assert result.objective == pytest.approx(5 / 3)
+        # the second site adds nothing (full overlap)
+        assert result.gains[1] == pytest.approx(0.0)
+
+    def test_unreachable_threshold(self):
+        """tau = 0.99 with single-position users: nobody is influenced."""
+        users = [MovingUser(uid, np.array([[float(uid), 0.0]])) for uid in range(4)]
+        ds = SpatialDataset.build(users, [], [candidate(0, 0, 0), candidate(1, 1, 0)])
+        result = solve_all(ds, k=2, tau=0.99)
+        assert result.objective == 0.0
+        assert len(result.selected) == 2  # still selects k (zero-gain) sites
+
+    def test_k_equals_all_candidates(self):
+        users = [
+            MovingUser(uid, np.random.default_rng(uid).uniform(0, 5, (5, 2)))
+            for uid in range(8)
+        ]
+        cands = [candidate(i, i * 1.0, 1.0) for i in range(4)]
+        ds = SpatialDataset.build(users, [existing(0, 2.0, 2.0)], cands)
+        result = solve_all(ds, k=4, tau=0.3)
+        assert set(result.selected) == {0, 1, 2, 3}
+
+    def test_facility_on_every_candidate(self):
+        """Each candidate shadowed by an identical competitor halves shares."""
+        rng = np.random.default_rng(3)
+        users = [
+            MovingUser(uid, rng.normal([2.0, 2.0], 0.3, (6, 2))) for uid in range(6)
+        ]
+        cands = [candidate(0, 2.0, 2.0)]
+        facs = [existing(0, 2.0, 2.0)]
+        with_comp = solve_all(SpatialDataset.build(users, facs, cands), k=1, tau=0.5)
+        without = solve_all(SpatialDataset.build(users, [], cands), k=1, tau=0.5)
+        assert with_comp.objective == pytest.approx(without.objective / 2)
+
+    def test_one_position_per_user(self):
+        """r = 1 everywhere: the multi-point model degrades to single-point."""
+        rng = np.random.default_rng(4)
+        users = [MovingUser(uid, rng.uniform(0, 8, (1, 2))) for uid in range(20)]
+        cands = [candidate(i, *rng.uniform(0, 8, 2)) for i in range(5)]
+        ds = SpatialDataset.build(users, [existing(0, 4, 4)], cands)
+        result = solve_all(ds, k=2, tau=0.2)
+        assert len(result.selected) == 2
+
+    def test_huge_coordinates(self):
+        """Far-from-origin regions must not break the index geometry."""
+        offset = 1e6
+        rng = np.random.default_rng(5)
+        users = [
+            MovingUser(uid, offset + rng.normal(0, 1.0, (5, 2))) for uid in range(10)
+        ]
+        cands = [candidate(i, offset + float(i), offset) for i in range(3)]
+        ds = SpatialDataset.build(users, [existing(0, offset, offset)], cands)
+        result = solve_all(ds, k=1, tau=0.3)
+        assert len(result.selected) == 1
+
+    def test_extremely_low_tau(self):
+        rng = np.random.default_rng(6)
+        users = [MovingUser(uid, rng.uniform(0, 6, (4, 2))) for uid in range(10)]
+        cands = [candidate(i, *rng.uniform(0, 6, 2)) for i in range(4)]
+        ds = SpatialDataset.build(users, [existing(0, 3, 3)], cands)
+        result = solve_all(ds, k=2, tau=0.01)
+        # at tau=0.01 essentially everyone is influenced by everything
+        assert result.objective > 0
+
+    def test_duplicate_positions_within_user(self):
+        users = [MovingUser(0, np.tile([[1.0, 1.0]], (30, 1)))]
+        ds = SpatialDataset.build(users, [], [candidate(0, 1.0, 1.0)])
+        result = solve_all(ds, k=1, tau=0.9)
+        assert result.objective == pytest.approx(1.0)

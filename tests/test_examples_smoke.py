@@ -1,0 +1,52 @@
+"""Smoke tests: the fast examples must run end to end.
+
+Each example is executed as a subprocess (the way a user runs it) and
+its headline output is asserted.  The slower demos (streaming market,
+geo-social campaign, road-network city) are exercised through their
+underlying modules' test files instead of here, to keep the suite quick.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Identical selections" in out
+        assert "faster" in out
+
+    def test_checkin_pipeline(self):
+        out = run_example("checkin_pipeline.py")
+        assert "selected sites" in out
+        assert "captured demand" in out
+
+    def test_billboard_placement(self):
+        out = run_example("billboard_placement.py")
+        assert "budget sizing" in out
+        assert "marginal gain falls below" in out
+
+    def test_quickstart_deterministic(self):
+        a = run_example("quickstart.py")
+        b = run_example("quickstart.py")
+        # Selections and objective lines are seeded; only timings vary.
+        pick = lambda text: [
+            line for line in text.splitlines() if "selected candidates" in line
+        ]
+        assert pick(a) == pick(b)

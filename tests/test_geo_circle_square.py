@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.geo.circle` and :mod:`repro.geo.square`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geo import SQRT2, Circle, Point, Rect, RoundedSquare, Square
+
+
+class TestCircle:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_zero_radius_contains_only_center(self):
+        c = Circle(Point(1, 1), 0.0)
+        assert c.contains_point(Point(1, 1))
+        assert not c.contains_point(Point(1, 1.001))
+
+    def test_contains_point_boundary(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.contains_point(Point(3, 4))
+        assert not c.contains_point(Point(3.001, 4))
+
+    def test_contains_rect_via_farthest_corner(self):
+        c = Circle(Point(0, 0), math.sqrt(2) + 1e-9)
+        assert c.contains_rect(Rect(-1, -1, 1, 1))
+        assert not c.contains_rect(Rect(-1, -1, 1.1, 1))
+
+    def test_intersects_rect(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.intersects_rect(Rect(0.5, 0.5, 2, 2))
+        assert c.intersects_rect(Rect(1, 0, 2, 0.1))  # touching
+        assert not c.intersects_rect(Rect(2, 2, 3, 3))
+
+    def test_bounding_rect(self):
+        assert Circle(Point(1, 2), 3).bounding_rect() == Rect(-2, -1, 4, 5)
+
+    def test_contains_mask_and_count(self):
+        c = Circle(Point(0, 0), 1.0)
+        xy = np.array([[0, 0], [1, 0], [0.8, 0.8], [0.7, 0.7]])
+        assert c.contains_mask(xy).tolist() == [True, True, False, True]
+        assert c.count_inside(xy) == 3
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 2).area == pytest.approx(4 * math.pi)
+
+
+class TestSquare:
+    def test_side_must_be_positive(self):
+        with pytest.raises(GeometryError):
+            Square(Point(0, 0), 0.0)
+
+    def test_diagonal(self):
+        assert Square(Point(0, 0), 2.0).diagonal == pytest.approx(2 * SQRT2)
+
+    def test_rect_roundtrip(self):
+        sq = Square(Point(1, 1), 2.0)
+        r = sq.rect()
+        assert r == Rect(0, 0, 2, 2)
+        assert Square.from_rect(r) == sq
+
+    def test_from_diagonal(self):
+        sq = Square.from_diagonal(Point(0, 0), 2.0)
+        assert sq.side == pytest.approx(2.0 / SQRT2)
+        assert sq.diagonal == pytest.approx(2.0)
+        with pytest.raises(GeometryError):
+            Square.from_diagonal(Point(0, 0), 0)
+
+    def test_from_rect_rejects_non_square(self):
+        with pytest.raises(GeometryError):
+            Square.from_rect(Rect(0, 0, 2, 1))
+
+
+class TestRoundedSquare:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            RoundedSquare(Square(Point(0, 0), 1.0), -0.5)
+
+    def test_mbr_expands_by_radius(self):
+        rs = RoundedSquare(Square(Point(0, 0), 2.0), 1.0)
+        assert rs.mbr() == Rect(-2, -2, 2, 2)
+
+    def test_contains_point_edge_vs_corner(self):
+        # square [-1,1]^2 with corner radius 1
+        rs = RoundedSquare(Square(Point(0, 0), 2.0), 1.0)
+        # on an edge extension the full radius reaches out
+        assert rs.contains_point(Point(2.0, 0.0))
+        # but the MBR corner (2, 2) is NOT inside the rounded shape
+        assert not rs.contains_point(Point(2.0, 2.0))
+        # the rounded corner reaches sqrt(1/2) beyond the square corner
+        assert rs.contains_point(Point(1 + 0.7, 1 + 0.7))
+        assert not rs.contains_point(Point(1 + 0.8, 1 + 0.8))
+
+    def test_zero_radius_degenerates_to_square(self):
+        rs = RoundedSquare(Square(Point(0, 0), 2.0), 0.0)
+        assert rs.mbr() == Rect(-1, -1, 1, 1)
+        assert rs.contains_point(Point(1, 1))
+        assert not rs.contains_point(Point(1.01, 1))
+
+    def test_contains_mask_matches_scalar(self):
+        rs = RoundedSquare(Square(Point(0.5, -0.5), 3.0), 0.8)
+        rng = np.random.default_rng(42)
+        xy = rng.uniform(-4, 4, size=(200, 2))
+        mask = rs.contains_mask(xy)
+        for i in range(xy.shape[0]):
+            assert mask[i] == rs.contains_point(Point(xy[i, 0], xy[i, 1]))

@@ -1,0 +1,71 @@
+"""Unit tests for :mod:`repro.geo.distance`."""
+
+import numpy as np
+import pytest
+
+from repro.geo import EquirectangularProjection, euclidean, euclidean_many, haversine_km
+
+
+class TestEuclidean:
+    def test_scalar(self):
+        assert euclidean(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_many_matches_scalar(self):
+        xy = np.array([[1.0, 1.0], [4.0, 5.0], [-3.0, 0.0]])
+        d = euclidean_many((1.0, 1.0), xy)
+        assert d[0] == pytest.approx(0.0)
+        assert d[1] == pytest.approx(5.0)
+        assert d[2] == pytest.approx(euclidean(1, 1, -3, 0))
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(40.7, -74.0, 40.7, -74.0) == 0.0
+
+    def test_one_degree_latitude_is_about_111km(self):
+        assert haversine_km(0, 0, 1, 0) == pytest.approx(111.2, abs=0.3)
+
+    def test_known_city_pair(self):
+        # NYC (40.7128, -74.0060) to Philadelphia (39.9526, -75.1652) ~ 130 km
+        d = haversine_km(40.7128, -74.0060, 39.9526, -75.1652)
+        assert 125 < d < 135
+
+    def test_symmetry(self):
+        assert haversine_km(10, 20, 30, 40) == pytest.approx(
+            haversine_km(30, 40, 10, 20)
+        )
+
+
+class TestProjection:
+    def test_reference_maps_to_origin(self):
+        proj = EquirectangularProjection(40.0, -74.0)
+        assert proj.to_xy(40.0, -74.0) == (0.0, 0.0)
+
+    def test_roundtrip(self):
+        proj = EquirectangularProjection(40.0, -74.0)
+        lat, lon = proj.to_latlon(*proj.to_xy(40.5, -73.5))
+        assert lat == pytest.approx(40.5)
+        assert lon == pytest.approx(-73.5)
+
+    def test_projected_distance_close_to_haversine(self):
+        proj = EquirectangularProjection(40.0, -74.0)
+        x1, y1 = proj.to_xy(40.1, -74.1)
+        x2, y2 = proj.to_xy(40.3, -73.8)
+        planar = euclidean(x1, y1, x2, y2)
+        great_circle = haversine_km(40.1, -74.1, 40.3, -73.8)
+        assert planar == pytest.approx(great_circle, rel=0.005)
+
+    def test_array_projection_matches_scalar(self):
+        proj = EquirectangularProjection(40.0, -74.0)
+        latlon = np.array([[40.2, -74.3], [39.8, -73.9]])
+        xy = proj.to_xy_array(latlon)
+        for i in range(2):
+            sx, sy = proj.to_xy(latlon[i, 0], latlon[i, 1])
+            assert xy[i, 0] == pytest.approx(sx)
+            assert xy[i, 1] == pytest.approx(sy)
+
+    def test_centered_on(self):
+        latlon = np.array([[40.0, -74.0], [41.0, -73.0]])
+        proj = EquirectangularProjection.centered_on(latlon)
+        assert proj.ref_lat == pytest.approx(40.5)
+        assert proj.ref_lon == pytest.approx(-73.5)

@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.geo.point`."""
+
+import math
+
+import pytest
+
+from repro.geo import ORIGIN, Point, midpoint
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetry(self):
+        a, b = Point(1.5, 2.5), Point(-4.0, 7.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_translated(self):
+        p = Point(1.0, 2.0).translated(0.5, -1.0)
+        assert p == Point(1.5, 1.0)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.0, 2.0)
+        assert p.as_tuple() == (1.0, 2.0)
+        x, y = p
+        assert (x, y) == (1.0, 2.0)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5.0  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0.0, 0.0)
+
+
+class TestMidpoint:
+    def test_midpoint_basic(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_midpoint_commutes(self):
+        a, b = Point(-1, 3), Point(5, -7)
+        assert midpoint(a, b) == midpoint(b, a)
+
+    def test_midpoint_of_identical_points(self):
+        p = Point(2.5, 2.5)
+        assert midpoint(p, p) == p
+
+    def test_midpoint_distance_halved(self):
+        a, b = Point(0, 0), Point(6, 8)
+        m = midpoint(a, b)
+        assert a.distance_to(m) == pytest.approx(a.distance_to(b) / 2)
+        assert math.isclose(a.distance_to(m), b.distance_to(m))

@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.geo.rect`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geo import Point, Rect
+
+
+@pytest.fixture
+def unit() -> Rect:
+    return Rect(0, 0, 1, 1)
+
+
+class TestConstruction:
+    def test_invalid_rect_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(GeometryError):
+            Rect(0, 1, 1, 0)
+
+    def test_degenerate_point_rect_allowed(self):
+        r = Rect.from_point(Point(2, 3))
+        assert r.area == 0.0
+        assert r.contains_point(Point(2, 3))
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(-2, 0), Point(3, 2)])
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (-2, 0, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_from_array(self):
+        r = Rect.from_array(np.array([[0.0, 1.0], [2.0, -1.0]]))
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (0, -1, 2, 1)
+
+    def test_from_array_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            Rect.from_array(np.zeros((0, 2)))
+        with pytest.raises(GeometryError):
+            Rect.from_array(np.zeros((3, 3)))
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)])
+        assert r == Rect(0, 0, 3, 3)
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+
+class TestDerived:
+    def test_metrics(self, unit):
+        assert unit.width == 1 and unit.height == 1
+        assert unit.area == 1
+        assert unit.perimeter == 4
+        assert unit.diagonal == pytest.approx(math.sqrt(2))
+        assert unit.center == Point(0.5, 0.5)
+
+    def test_corners_ccw(self, unit):
+        a, b, c, d = unit.corners()
+        assert (a, b, c, d) == (Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1))
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self, unit):
+        assert unit.contains_point(Point(0, 0))
+        assert unit.contains_point(Point(1, 1))
+        assert not unit.contains_point(Point(1.0001, 0.5))
+
+    def test_contains_rect(self, unit):
+        assert unit.contains_rect(Rect(0.2, 0.2, 0.8, 0.8))
+        assert unit.contains_rect(unit)
+        assert not unit.contains_rect(Rect(0.5, 0.5, 1.5, 0.9))
+
+    def test_intersects(self, unit):
+        assert unit.intersects(Rect(0.5, 0.5, 2, 2))
+        assert unit.intersects(Rect(1, 1, 2, 2))  # touching counts
+        assert not unit.intersects(Rect(1.1, 1.1, 2, 2))
+
+
+class TestCombinators:
+    def test_union(self, unit):
+        assert unit.union(Rect(2, -1, 3, 0.5)) == Rect(0, -1, 3, 1)
+
+    def test_intersection(self, unit):
+        assert unit.intersection(Rect(0.5, 0.5, 2, 2)) == Rect(0.5, 0.5, 1, 1)
+        assert unit.intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_expanded(self, unit):
+        assert unit.expanded(1.0) == Rect(-1, -1, 2, 2)
+        with pytest.raises(GeometryError):
+            unit.expanded(-0.1)
+
+    def test_enlargement(self, unit):
+        assert unit.enlargement(Rect(0.2, 0.2, 0.4, 0.4)) == 0.0
+        assert unit.enlargement(Rect(0, 0, 2, 1)) == pytest.approx(1.0)
+
+
+class TestDistances:
+    def test_min_distance_inside_is_zero(self, unit):
+        assert unit.min_distance_to_point(Point(0.5, 0.5)) == 0.0
+
+    def test_min_distance_axis(self, unit):
+        assert unit.min_distance_to_point(Point(2, 0.5)) == pytest.approx(1.0)
+
+    def test_min_distance_corner(self, unit):
+        assert unit.min_distance_to_point(Point(4, 5)) == pytest.approx(5.0)
+
+    def test_max_distance_from_center(self, unit):
+        assert unit.max_distance_to_point(Point(0.5, 0.5)) == pytest.approx(
+            math.sqrt(0.5)
+        )
+
+    def test_max_distance_outside(self, unit):
+        # farthest corner from (2, 2) is (0, 0)
+        assert unit.max_distance_to_point(Point(2, 2)) == pytest.approx(math.sqrt(8))
+
+    def test_max_ge_min(self, unit):
+        for p in [Point(0.3, 0.9), Point(-1, 2), Point(5, 5)]:
+            assert unit.max_distance_to_point(p) >= unit.min_distance_to_point(p)
+
+
+class TestVectorised:
+    def test_contains_mask(self, unit):
+        xy = np.array([[0.5, 0.5], [2.0, 0.5], [1.0, 1.0]])
+        assert unit.contains_mask(xy).tolist() == [True, False, True]
+
+    def test_count_inside(self, unit):
+        xy = np.array([[0.1, 0.1], [0.9, 0.9], [1.5, 0.5]])
+        assert unit.count_inside(xy) == 2

@@ -1,0 +1,142 @@
+"""Unit and property tests for the cumulative influence model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ProbabilityError
+from repro.influence import (
+    EvaluationStats,
+    InfluenceEvaluator,
+    cumulative_probability,
+    paper_default_pf,
+)
+
+PF = paper_default_pf()
+
+positions_strategy = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 25), st.just(2)),
+    elements=st.floats(min_value=-30, max_value=30, allow_nan=False),
+)
+
+
+class TestCumulativeProbability:
+    def test_paper_example_2(self):
+        """Example 2: Pr over two positions with given per-position values."""
+        # The paper assumes Pr_c1(p11)=0.6, Pr_c1(p12)=0.3 and derives 0.72.
+        # We verify the combination rule itself with the same numbers.
+        pr = 1.0 - (1.0 - 0.6) * (1.0 - 0.3)
+        assert pr == pytest.approx(0.72)
+
+    def test_single_position_equals_pf(self):
+        pos = np.array([[1.0, 0.0]])
+        assert cumulative_probability(0.0, 0.0, pos, PF) == pytest.approx(
+            float(PF(1.0))
+        )
+
+    def test_facility_on_top_of_positions(self):
+        pos = np.zeros((5, 2))
+        # 1 - (1 - 0.5)^5
+        assert cumulative_probability(0.0, 0.0, pos, PF) == pytest.approx(
+            1.0 - 0.5**5
+        )
+
+    @given(positions_strategy)
+    @settings(max_examples=100)
+    def test_in_unit_interval(self, pos):
+        p = cumulative_probability(0.0, 0.0, pos, PF)
+        assert 0.0 <= p <= 1.0
+
+    @given(positions_strategy)
+    @settings(max_examples=100)
+    def test_monotone_in_positions(self, pos):
+        """Lemma 4: adding positions can only increase Pr_v(o)."""
+        p_all = cumulative_probability(0.0, 0.0, pos, PF)
+        p_prefix = cumulative_probability(0.0, 0.0, pos[:-1], PF) if pos.shape[0] > 1 else 0.0
+        assert p_all >= p_prefix - 1e-12
+
+    def test_far_positions_contribute_nothing(self):
+        near = np.array([[0.5, 0.5]])
+        far = np.array([[0.5, 0.5], [1000.0, 1000.0]])
+        assert cumulative_probability(0, 0, far, PF) == pytest.approx(
+            cumulative_probability(0, 0, near, PF)
+        )
+
+
+class TestInfluenceEvaluator:
+    def test_tau_validation(self):
+        with pytest.raises(ProbabilityError):
+            InfluenceEvaluator(PF, 0.0)
+        with pytest.raises(ProbabilityError):
+            InfluenceEvaluator(PF, 1.0)
+
+    def test_exact_decision(self):
+        ev = InfluenceEvaluator(PF, tau=0.7, early_stopping=False)
+        close = np.zeros((3, 2))  # Pr = 1 - 0.5^3 = 0.875 >= 0.7
+        far = np.full((3, 2), 100.0)
+        assert ev.influences(0, 0, close)
+        assert not ev.influences(0, 0, far)
+
+    def test_stats_counting(self):
+        ev = InfluenceEvaluator(PF, tau=0.7, early_stopping=False)
+        ev.influences(0, 0, np.zeros((4, 2)))
+        assert ev.stats.full_evaluations == 1
+        assert ev.stats.positions_touched == 4
+        ev.stats.reset()
+        assert ev.stats.total_evaluations == 0
+
+    @given(
+        positions_strategy,
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-5, max_value=5),
+    )
+    @settings(max_examples=200)
+    def test_early_stop_matches_exact(self, pos, tau, vx, vy):
+        """The early-stopping decision must equal the exact decision."""
+        exact = cumulative_probability(vx, vy, pos, PF) >= tau
+        ev = InfluenceEvaluator(PF, tau=tau, early_stopping=True)
+        assert ev.influences(vx, vy, pos) == exact
+
+    def test_early_stop_touches_fewer_positions(self):
+        """A user glued to the facility certifies influence in few steps."""
+        pos = np.zeros((50, 2))
+        ev = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        assert ev.influences(0.0, 0.0, pos)
+        assert ev.stats.positions_touched < 10
+        assert ev.stats.early_stops_positive == 1
+
+    def test_out_of_reach_user_rejected(self):
+        """A user entirely out of reach is correctly rejected."""
+        pos = np.full((50, 2), 200.0)
+        ev = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        assert not ev.influences(0.0, 0.0, pos)
+        assert ev.stats.early_stop_evaluations == 1
+
+    def test_long_history_block_path(self):
+        """Histories beyond the vectorised cutoff use the block path."""
+        ev = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        near = np.zeros((300, 2))
+        assert ev.influences(0.0, 0.0, near)
+        assert ev.stats.positions_touched < 300  # decided in the first block
+        far = np.full((300, 2), 500.0)
+        assert not ev.influences(0.0, 0.0, far)
+
+    def test_decision_with_probability(self):
+        ev = InfluenceEvaluator(PF, tau=0.5)
+        decided, p = ev.decision_with_probability(0, 0, np.zeros((2, 2)))
+        assert decided
+        assert p == pytest.approx(0.75)
+
+
+class TestEvaluationStats:
+    def test_merge(self):
+        a = EvaluationStats(full_evaluations=2, positions_touched=10)
+        b = EvaluationStats(early_stop_evaluations=3, early_stops_positive=1)
+        a.merge(b)
+        assert a.total_evaluations == 5
+        assert a.positions_touched == 10
+        assert a.early_stops_positive == 1

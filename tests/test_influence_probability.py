@@ -1,0 +1,108 @@
+"""Unit tests for the distance-decay probability family."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProbabilityError
+from repro.influence import (
+    ExponentialPF,
+    LinearPF,
+    PowerLawPF,
+    SigmoidPF,
+    paper_default_pf,
+)
+
+ALL_PFS = [
+    SigmoidPF(rho=1.0),
+    SigmoidPF(rho=1.6),
+    ExponentialPF(p0=0.9, scale=1.5),
+    LinearPF(p0=0.8, cutoff=4.0),
+    PowerLawPF(p0=0.9, scale=1.0, alpha=2.0),
+]
+
+
+@pytest.mark.parametrize("pf", ALL_PFS, ids=repr)
+class TestCommonContract:
+    def test_value_at_zero_is_max(self, pf):
+        assert float(pf(0.0)) == pytest.approx(pf.max_probability)
+
+    def test_monotone_decreasing(self, pf):
+        ds = np.linspace(0, 10, 200)
+        vals = pf(ds)
+        assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_range(self, pf):
+        ds = np.linspace(0, 50, 500)
+        vals = pf(ds)
+        assert np.all(vals >= 0)
+        assert np.all(vals <= 1)
+
+    def test_inverse_roundtrip(self, pf):
+        for d in [0.1, 0.5, 1.0, 2.0, 3.5]:
+            p = float(pf(d))
+            if p <= 0:
+                continue
+            assert pf.inverse(p) == pytest.approx(d, abs=1e-9)
+
+    def test_inverse_above_max_returns_zero(self, pf):
+        assert pf.inverse(min(1.0, pf.max_probability + 1e-6)) == 0.0
+
+    def test_inverse_rejects_bad_probability(self, pf):
+        with pytest.raises(ProbabilityError):
+            pf.inverse(0.0)
+        with pytest.raises(ProbabilityError):
+            pf.inverse(1.5)
+
+    def test_scalar_and_array_agree(self, pf):
+        ds = np.array([0.0, 0.7, 2.3, 9.9])
+        arr = pf(ds)
+        for i, d in enumerate(ds):
+            assert float(pf(float(d))) == pytest.approx(float(arr[i]))
+
+
+class TestSigmoid:
+    def test_paper_values(self):
+        pf = paper_default_pf()
+        assert float(pf(0.0)) == pytest.approx(0.5)
+        # PF(d) = 1 / (1 + e^d)
+        assert float(pf(1.0)) == pytest.approx(1.0 / (1.0 + math.e))
+
+    def test_rho_validation(self):
+        with pytest.raises(ProbabilityError):
+            SigmoidPF(rho=0.0)
+        with pytest.raises(ProbabilityError):
+            SigmoidPF(rho=2.5)
+
+    @given(st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=50)
+    def test_inverse_is_left_inverse(self, d):
+        pf = paper_default_pf()
+        p = float(pf(d))
+        assert pf.inverse(p) == pytest.approx(d, abs=1e-7)
+
+
+class TestValidation:
+    def test_exponential_validation(self):
+        with pytest.raises(ProbabilityError):
+            ExponentialPF(p0=0.0)
+        with pytest.raises(ProbabilityError):
+            ExponentialPF(scale=-1)
+
+    def test_linear_validation(self):
+        with pytest.raises(ProbabilityError):
+            LinearPF(p0=1.5)
+        with pytest.raises(ProbabilityError):
+            LinearPF(cutoff=0)
+
+    def test_power_validation(self):
+        with pytest.raises(ProbabilityError):
+            PowerLawPF(alpha=0)
+
+    def test_linear_is_zero_beyond_cutoff(self):
+        pf = LinearPF(p0=0.8, cutoff=2.0)
+        assert float(pf(2.0)) == 0.0
+        assert float(pf(5.0)) == 0.0

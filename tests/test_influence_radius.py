@@ -1,0 +1,130 @@
+"""Unit tests for mMR / eta / NIR (the pruning math, paper Eq. 3 + Def. 8)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProbabilityError
+from repro.influence import (
+    LinearPF,
+    SigmoidPF,
+    min_max_radius,
+    non_influence_radius,
+    paper_default_pf,
+    position_count_threshold,
+    position_count_threshold_int,
+)
+
+PF = paper_default_pf()
+
+
+class TestMinMaxRadius:
+    def test_single_position_high_tau_gives_zero(self):
+        # With rho=1, PF(0)=0.5 < 0.7 so one position can never reach tau=0.7.
+        assert min_max_radius(0.7, 1, PF) == 0.0
+
+    def test_grows_with_r(self):
+        radii = [min_max_radius(0.7, r, PF) for r in range(2, 40)]
+        assert all(b >= a for a, b in zip(radii, radii[1:]))
+
+    def test_shrinks_with_tau(self):
+        radii = [min_max_radius(t, 10, PF) for t in [0.1, 0.3, 0.5, 0.7, 0.9]]
+        assert all(b <= a for a, b in zip(radii, radii[1:]))
+
+    def test_definition(self):
+        # mMR(tau, r) = PF^-1(1 - (1-tau)^(1/r))
+        tau, r = 0.7, 10
+        per = 1.0 - (1.0 - tau) ** (1.0 / r)
+        assert min_max_radius(tau, r, PF) == pytest.approx(PF.inverse(per))
+
+    def test_validation(self):
+        with pytest.raises(ProbabilityError):
+            min_max_radius(0.0, 5, PF)
+        with pytest.raises(ProbabilityError):
+            min_max_radius(1.0, 5, PF)
+        with pytest.raises(ProbabilityError):
+            min_max_radius(0.5, 0, PF)
+
+    def test_sound_as_guarantee(self):
+        """r positions at exactly mMR distance reach exactly tau."""
+        tau, r = 0.6, 8
+        d = min_max_radius(tau, r, PF)
+        pr = 1.0 - (1.0 - float(PF(d))) ** r
+        assert pr == pytest.approx(tau, abs=1e-9)
+
+
+class TestPositionCountThreshold:
+    def test_inverse_of_mmr(self):
+        """eta(tau, PF, mMR(tau, r)) == r for real-valued eta."""
+        for tau in [0.3, 0.5, 0.7, 0.9]:
+            for r in [2, 5, 10, 30]:
+                d = min_max_radius(tau, r, PF)
+                if d <= 0:
+                    continue
+                assert position_count_threshold(tau, PF, d) == pytest.approx(
+                    r, rel=1e-9
+                )
+
+    def test_grows_with_distance(self):
+        etas = [position_count_threshold(0.7, PF, d) for d in [0.5, 1, 2, 3, 5]]
+        assert all(b > a for a, b in zip(etas, etas[1:]))
+
+    def test_grows_with_tau(self):
+        etas = [position_count_threshold(t, PF, 2.0) for t in [0.1, 0.5, 0.9]]
+        assert all(b > a for a, b in zip(etas, etas[1:]))
+
+    def test_infinite_when_pf_is_zero(self):
+        pf = LinearPF(p0=0.8, cutoff=2.0)
+        assert math.isinf(position_count_threshold(0.5, pf, 3.0))
+        assert position_count_threshold_int(0.5, pf, 3.0) == 2**62
+
+    def test_int_form_is_ceiling(self):
+        eta = position_count_threshold(0.7, PF, 2.0)
+        assert position_count_threshold_int(0.7, PF, 2.0) == math.ceil(eta - 1e-12)
+
+    def test_int_form_at_least_one(self):
+        # Tiny distance, tiny tau -> eta < 1, but at least 1 position needed.
+        assert position_count_threshold_int(0.05, PF, 0.01) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ProbabilityError):
+            position_count_threshold(0.7, PF, -1.0)
+
+    @given(
+        tau=st.floats(min_value=0.05, max_value=0.95),
+        d=st.floats(min_value=0.05, max_value=6.0),
+    )
+    @settings(max_examples=100)
+    def test_eta_positions_at_d_reach_tau(self, tau, d):
+        """ceil(eta) positions at distance exactly d give Pr >= tau (Lemma 1 core)."""
+        n = position_count_threshold_int(tau, PF, d)
+        if n >= 2**62:
+            return
+        pr = 1.0 - (1.0 - float(PF(d))) ** n
+        assert pr >= tau - 1e-9
+
+
+class TestNonInfluenceRadius:
+    def test_equals_mmr_at_rmax(self):
+        assert non_influence_radius(0.7, 50, PF) == min_max_radius(0.7, 50, PF)
+
+    def test_upper_bounds_all_user_radii(self):
+        r_max = 40
+        nir = non_influence_radius(0.7, r_max, PF)
+        for r in range(1, r_max + 1):
+            assert min_max_radius(0.7, r, PF) <= nir + 1e-12
+
+    def test_decreases_with_tau(self):
+        vals = [non_influence_radius(t, 30, PF) for t in [0.1, 0.3, 0.5, 0.7, 0.9]]
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+
+
+class TestAcrossProbabilityFunctions:
+    @pytest.mark.parametrize("pf", [SigmoidPF(1.0), SigmoidPF(1.5)], ids=repr)
+    def test_duality_for_other_pfs(self, pf):
+        tau, r = 0.65, 12
+        d = min_max_radius(tau, r, pf)
+        assert d > 0
+        assert position_count_threshold(tau, pf, d) == pytest.approx(r, rel=1e-9)

@@ -1,0 +1,257 @@
+"""Unit and property tests for all four pruning rules.
+
+The core soundness contracts:
+  * IA-confirmed  => Pr_v(o) >= tau
+  * NIB-pruned    => Pr_v(o) <  tau
+  * IS-confirmed  => Pr_v(o) >= tau
+  * NIR-pruned    => Pr_v(o) <  tau
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entities import MovingUser, candidate
+from repro.geo import Point, Rect
+from repro.influence import (
+    InfluenceEvaluator,
+    cumulative_probability,
+    min_max_radius,
+    non_influence_radius,
+    paper_default_pf,
+    position_count_threshold_int,
+)
+from repro.pruning import (
+    PinocchioPruner,
+    PruningStats,
+    is_rule_confirms,
+    measure_iquadtree_pruning,
+    measure_pinocchio_pruning,
+    nir_rule_prunes,
+    regions_for,
+)
+
+PF = paper_default_pf()
+REGION = Rect(0, 0, 30, 30)
+
+
+def random_user(uid, rng, r=10, spread=2.0, region=REGION):
+    center = rng.uniform([region.min_x + 2, region.min_y + 2],
+                         [region.max_x - 2, region.max_y - 2])
+    pos = np.clip(
+        rng.normal(center, spread, size=(r, 2)),
+        [region.min_x, region.min_y],
+        [region.max_x, region.max_y],
+    )
+    return MovingUser(uid, pos)
+
+
+class TestUserPruningRegions:
+    def test_nib_rect_is_mbr_plus_mmr(self):
+        user = MovingUser(0, np.array([[5.0, 5.0], [7.0, 9.0]]))
+        regions = regions_for(user, 0.3, PF)
+        mmr = min_max_radius(0.3, 2, PF)
+        assert regions.nib_rect() == user.mbr.expanded(mmr)
+
+    def test_ia_empty_when_mmr_zero(self):
+        # One position, tau=0.7, rho=1: threshold unreachable -> mMR = 0.
+        user = MovingUser(0, np.array([[5.0, 5.0]]))
+        regions = regions_for(user, 0.7, PF)
+        assert regions.mmr == 0.0
+        assert not regions.ia_contains(Point(5.0, 5.0))
+
+    def test_classify_three_ways(self):
+        # Tight cluster of many positions => sizeable mMR and IA region.
+        pos = np.full((30, 2), 10.0)
+        user = MovingUser(0, pos)
+        regions = regions_for(user, 0.5, PF)
+        assert regions.mmr > 0
+        assert regions.classify(Point(10.0, 10.0)) == "influenced"
+        assert regions.classify(Point(10.0 + regions.mmr / 2, 10.0)) == "influenced"
+        assert regions.classify(Point(25.0, 25.0)) == "pruned"
+
+    @pytest.mark.parametrize("tau", [0.2, 0.5, 0.8])
+    def test_ia_soundness(self, tau):
+        rng = np.random.default_rng(11)
+        for uid in range(15):
+            user = random_user(uid, rng, r=15, spread=0.7)
+            regions = regions_for(user, tau, PF)
+            for _ in range(10):
+                p = Point(*rng.uniform(0, 30, size=2))
+                if regions.ia_contains(p):
+                    pr = cumulative_probability(p.x, p.y, user.positions, PF)
+                    assert pr >= tau - 1e-9
+
+    @pytest.mark.parametrize("tau", [0.2, 0.5, 0.8])
+    def test_nib_soundness(self, tau):
+        rng = np.random.default_rng(13)
+        for uid in range(15):
+            user = random_user(uid, rng, r=15, spread=0.7)
+            regions = regions_for(user, tau, PF)
+            for _ in range(10):
+                p = Point(*rng.uniform(0, 30, size=2))
+                if not regions.nib_contains(p):
+                    pr = cumulative_probability(p.x, p.y, user.positions, PF)
+                    assert pr < tau
+
+
+class TestISRule:
+    def test_confirms_dense_square(self):
+        square = Rect(9, 9, 11, 11)  # diagonal = 2*sqrt(2)
+        eta = position_count_threshold_int(0.7, PF, square.diagonal)
+        positions = np.random.default_rng(0).uniform(9, 11, size=(eta + 5, 2))
+        assert is_rule_confirms(square, eta, positions)
+
+    def test_rejects_sparse_square(self):
+        square = Rect(9, 9, 11, 11)
+        eta = position_count_threshold_int(0.7, PF, square.diagonal)
+        positions = np.array([[10.0, 10.0]])  # a single position
+        assert eta > 1
+        assert not is_rule_confirms(square, eta, positions)
+
+    def test_infinite_eta_never_confirms(self):
+        square = Rect(0, 0, 30, 30)
+        positions = np.random.default_rng(0).uniform(0, 30, size=(1000, 2))
+        assert not is_rule_confirms(square, 2**62, positions)
+
+    @given(
+        seed=st.integers(0, 500),
+        tau=st.floats(min_value=0.1, max_value=0.9),
+        cx=st.floats(min_value=3, max_value=27),
+        cy=st.floats(min_value=3, max_value=27),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_is_soundness_property(self, seed, tau, cx, cy):
+        """IS-confirmed => every facility in the square influences the user."""
+        rng = np.random.default_rng(seed)
+        half = 1.0
+        square = Rect(cx - half, cy - half, cx + half, cy + half)
+        eta = position_count_threshold_int(tau, PF, square.diagonal)
+        user = random_user(0, rng, r=25, spread=1.2)
+        if not is_rule_confirms(square, eta, user.positions):
+            return
+        for _ in range(5):
+            vx, vy = rng.uniform([square.min_x, square.min_y],
+                                 [square.max_x, square.max_y])
+            pr = cumulative_probability(vx, vy, user.positions, PF)
+            assert pr >= tau - 1e-9
+
+
+class TestNIRRule:
+    @given(
+        seed=st.integers(0, 500),
+        tau=st.floats(min_value=0.1, max_value=0.9),
+        cx=st.floats(min_value=3, max_value=27),
+        cy=st.floats(min_value=3, max_value=27),
+        exact=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nir_soundness_property(self, seed, tau, cx, cy, exact):
+        """NIR-pruned => no facility in the square influences the user."""
+        rng = np.random.default_rng(seed)
+        half = 1.0
+        square = Rect(cx - half, cy - half, cx + half, cy + half)
+        user = random_user(0, rng, r=20, spread=1.5)
+        nir = non_influence_radius(tau, user.r, PF)
+        if not nir_rule_prunes(square, nir, user.positions, exact_rounded=exact):
+            return
+        for _ in range(5):
+            vx, vy = rng.uniform([square.min_x, square.min_y],
+                                 [square.max_x, square.max_y])
+            pr = cumulative_probability(vx, vy, user.positions, PF)
+            assert pr < tau
+
+    def test_exact_rounded_prunes_superset(self):
+        """The exact rounded-square test prunes at least as much as the MBR."""
+        rng = np.random.default_rng(21)
+        square = Rect(10, 10, 12, 12)
+        nir = 2.0
+        for _ in range(200):
+            positions = rng.uniform(7, 15, size=(5, 2))
+            if nir_rule_prunes(square, nir, positions, exact_rounded=False):
+                assert nir_rule_prunes(square, nir, positions, exact_rounded=True)
+
+
+class TestPinocchioPruner:
+    def make_instance(self, seed=0, n_users=20, n_fac=30):
+        rng = np.random.default_rng(seed)
+        users = [random_user(uid, rng) for uid in range(n_users)]
+        facs = [candidate(i, *rng.uniform(0, 30, size=2)) for i in range(n_fac)]
+        return users, facs
+
+    def test_classification_is_exhaustive_and_sound(self):
+        users, facs = self.make_instance()
+        pruner = PinocchioPruner(facs, tau=0.5, pf=PF)
+        ev = InfluenceEvaluator(PF, 0.5, early_stopping=False)
+        for user in users:
+            result = pruner.classify_user(user)
+            confirmed = {f.fid for f in result.confirmed}
+            verify = {f.fid for f in result.verify}
+            assert not (confirmed & verify)
+            for f in facs:
+                pr = ev.probability(f.x, f.y, user.positions)
+                if f.fid in confirmed:
+                    assert pr >= 0.5 - 1e-9
+                elif f.fid not in verify:  # pruned
+                    assert pr < 0.5
+
+    def test_stats_accumulate(self):
+        users, facs = self.make_instance()
+        pruner = PinocchioPruner(facs, tau=0.5, pf=PF)
+        for user in users:
+            pruner.classify_user(user)
+        assert pruner.stats.total == len(users) * len(facs)
+        assert pruner.range_queries == len(users)
+
+    def test_use_ia_false_sends_everything_to_verify(self):
+        users, facs = self.make_instance(seed=3)
+        with_ia = PinocchioPruner(facs, tau=0.3, pf=PF, use_ia=True)
+        without = PinocchioPruner(facs, tau=0.3, pf=PF, use_ia=False)
+        for user in users:
+            a = with_ia.classify_user(user)
+            b = without.classify_user(user)
+            assert not b.confirmed
+            assert {f.fid for f in b.verify} == (
+                {f.fid for f in a.verify} | {f.fid for f in a.confirmed}
+            )
+
+
+class TestMeasurementHelpers:
+    def test_pinocchio_measurement(self):
+        rng = np.random.default_rng(5)
+        users = [random_user(uid, rng) for uid in range(10)]
+        facs = [candidate(i, *rng.uniform(0, 30, size=2)) for i in range(15)]
+        stats = measure_pinocchio_pruning(users, facs, 0.5, PF)
+        assert stats.total == 150
+        assert 0 <= stats.saved_fraction <= 1
+
+    def test_iquadtree_measurement(self):
+        rng = np.random.default_rng(6)
+        users = [random_user(uid, rng) for uid in range(10)]
+        facs = [candidate(i, *rng.uniform(0, 30, size=2)) for i in range(15)]
+        stats, view = measure_iquadtree_pruning(
+            users, facs, 0.5, PF, d_hat=2.0, region=REGION
+        )
+        assert stats.total == 150
+        assert view.traversals == 15
+        assert view.leaves >= 1
+
+    def test_pruning_stats_fractions(self):
+        s = PruningStats(confirmed=10, pruned=70, verify=20)
+        assert s.total == 100
+        assert s.confirmed_fraction == pytest.approx(0.1)
+        assert s.pruned_fraction == pytest.approx(0.7)
+        assert s.saved_fraction == pytest.approx(0.8)
+        row = s.as_row()
+        assert row["pruned_frac"] == 0.7
+
+    def test_empty_stats(self):
+        s = PruningStats()
+        assert s.total == 0
+        assert s.saved_fraction == 0.0
+
+    def test_merge(self):
+        a = PruningStats(1, 2, 3)
+        a.merge(PruningStats(10, 20, 30))
+        assert (a.confirmed, a.pruned, a.verify) == (11, 22, 33)

@@ -1,0 +1,124 @@
+"""Tests for network-distance influence and the network solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.competition import cinf_group
+from repro.entities import MovingUser, SpatialDataset, candidate, existing
+from repro.exceptions import DataError
+from repro.influence import paper_default_pf
+from repro.roadnet import (
+    NetworkInfluenceModel,
+    RoadNetwork,
+    grid_network,
+    solve_on_network,
+)
+
+PF = paper_default_pf()
+
+
+def brute_force_influenced(network, dataset, facility, tau, cutoff):
+    """Reference implementation: per-pair snapping + pairwise Dijkstra."""
+    v_node, v_offset = network.nearest_node(facility.x, facility.y)
+    out = set()
+    for user in dataset.users:
+        q = 1.0
+        for row in user.positions:
+            p_node, p_offset = network.nearest_node(float(row[0]), float(row[1]))
+            base = network.shortest_path_length(v_node, p_node)
+            d = v_offset + base + p_offset
+            if math.isinf(d) or d >= cutoff:
+                continue
+            q *= 1.0 - float(PF(d))
+        if q <= 1.0 - tau:
+            out.add(user.uid)
+    return out
+
+
+def make_dataset(seed=0, n_users=15, side=10.0):
+    rng = np.random.default_rng(seed)
+    users = [
+        MovingUser(
+            uid,
+            np.clip(rng.normal(rng.uniform(1, side - 1, 2), 0.8, (6, 2)), 0, side),
+        )
+        for uid in range(n_users)
+    ]
+    cands = [candidate(i, *rng.uniform(1, side - 1, 2)) for i in range(6)]
+    facs = [existing(i, *rng.uniform(1, side - 1, 2)) for i in range(4)]
+    return SpatialDataset.build(users, facs, cands, name="net-toy")
+
+
+class TestNetworkInfluenceModel:
+    def test_empty_network_rejected(self):
+        ds = make_dataset()
+        with pytest.raises(DataError):
+            NetworkInfluenceModel(RoadNetwork(), ds)
+
+    @pytest.mark.parametrize("tau", [0.3, 0.6])
+    def test_matches_brute_force(self, tau):
+        ds = make_dataset(seed=1)
+        net = grid_network(side_km=10, spacing_km=1.0, seed=1)
+        model = NetworkInfluenceModel(net, ds, tau=tau)
+        for v in ds.abstract_facilities:
+            expected = brute_force_influenced(net, ds, v, tau, model.cutoff)
+            assert model.influenced_users(v) == expected
+
+    def test_dijkstra_run_accounting(self):
+        ds = make_dataset(seed=2)
+        net = grid_network(side_km=10, spacing_km=1.0)
+        model = NetworkInfluenceModel(net, ds, tau=0.5)
+        model.build_table()
+        assert model.dijkstra_runs == len(ds.abstract_facilities)
+
+    def test_network_distance_never_increases_influence(self):
+        """Network metric >= Euclidean metric, so network coverage is a
+        subset of Euclidean coverage for the same (v, tau)."""
+        from repro.influence import InfluenceEvaluator
+
+        ds = make_dataset(seed=3)
+        net = grid_network(side_km=10, spacing_km=0.5, seed=0)
+        model = NetworkInfluenceModel(net, ds, tau=0.4)
+        ev = InfluenceEvaluator(PF, 0.4, early_stopping=False)
+        for v in ds.candidates:
+            net_cov = model.influenced_users(v)
+            euclid_cov = {
+                u.uid for u in ds.users if ev.influences(v.x, v.y, u.positions)
+            }
+            # Snapping detours can only lengthen distances (up to the snap
+            # offsets, which are tiny on a 0.5-km grid).
+            assert len(net_cov) <= len(euclid_cov) + 1
+
+
+class TestSolveOnNetwork:
+    def test_end_to_end(self):
+        ds = make_dataset(seed=4)
+        net = grid_network(side_km=10, spacing_km=1.0)
+        result = solve_on_network(ds, net, k=3, tau=0.4)
+        assert len(result.selected) == 3
+        assert result.objective == pytest.approx(
+            cinf_group(result.table, list(result.selected))
+        )
+        assert all(a >= b - 1e-12 for a, b in zip(result.gains, result.gains[1:]))
+
+    def test_sparser_network_changes_costs(self):
+        """A coarse network lengthens travel, shrinking coverage and the
+        objective relative to a dense network."""
+        ds = make_dataset(seed=5, n_users=25)
+        dense = grid_network(side_km=10, spacing_km=0.5)
+        sparse = grid_network(side_km=10, spacing_km=4.0)
+        dense_result = solve_on_network(ds, dense, k=3, tau=0.4)
+        sparse_result = solve_on_network(ds, sparse, k=3, tau=0.4)
+        assert sparse_result.objective <= dense_result.objective + 1e-9
+
+    def test_custom_cutoff(self):
+        ds = make_dataset(seed=6)
+        net = grid_network(side_km=10, spacing_km=1.0)
+        tight = solve_on_network(ds, net, k=2, tau=0.4, cutoff=1.0)
+        loose = solve_on_network(ds, net, k=2, tau=0.4, cutoff=30.0)
+        # A tighter cutoff can only shrink coverage.
+        covered_tight = set().union(*tight.table.omega_c.values())
+        covered_loose = set().union(*loose.table.omega_c.values())
+        assert covered_tight <= covered_loose

@@ -1,0 +1,159 @@
+"""Tests for the road-network graph substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.geo import Point
+from repro.roadnet import RoadNetwork, grid_network, radial_network
+
+
+@pytest.fixture
+def square_net():
+    """A unit square with a diagonal shortcut: 0-1-2-3 ring + 0-2."""
+    net = RoadNetwork()
+    net.add_node(0, 0, 0)
+    net.add_node(1, 1, 0)
+    net.add_node(2, 1, 1)
+    net.add_node(3, 0, 1)
+    net.add_edge(0, 1)
+    net.add_edge(1, 2)
+    net.add_edge(2, 3)
+    net.add_edge(3, 0)
+    net.add_edge(0, 2)  # sqrt(2) diagonal
+    return net
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self, square_net):
+        assert len(square_net) == 4
+        assert square_net.n_edges == 5
+        assert square_net.position(2) == Point(1, 1)
+        assert square_net.neighbors(0) == {
+            1: pytest.approx(1.0),
+            3: pytest.approx(1.0),
+            2: pytest.approx(math.sqrt(2)),
+        }
+
+    def test_edge_requires_nodes(self):
+        net = RoadNetwork()
+        net.add_node(0, 0, 0)
+        with pytest.raises(DataError):
+            net.add_edge(0, 1)
+
+    def test_self_loop_rejected(self, square_net):
+        with pytest.raises(DataError):
+            square_net.add_edge(1, 1)
+
+    def test_negative_length_rejected(self, square_net):
+        with pytest.raises(DataError):
+            square_net.add_edge(1, 3, length=-1.0)
+
+    def test_explicit_length_overrides_euclidean(self):
+        net = RoadNetwork()
+        net.add_node(0, 0, 0)
+        net.add_node(1, 1, 0)
+        net.add_edge(0, 1, length=5.0)  # congested road
+        assert net.shortest_path_length(0, 1) == 5.0
+
+    def test_unknown_node_queries(self, square_net):
+        with pytest.raises(DataError):
+            square_net.position(99)
+        with pytest.raises(DataError):
+            square_net.shortest_paths(99)
+
+    def test_edges_iterated_once(self, square_net):
+        assert len(list(square_net.edges())) == 5
+
+
+class TestShortestPaths:
+    def test_triangle_inequality_vs_euclidean(self, square_net):
+        # Network distance can never beat the straight line.
+        for a in range(4):
+            for b in range(4):
+                if a == b:
+                    continue
+                euclid = square_net.position(a).distance_to(square_net.position(b))
+                assert square_net.shortest_path_length(a, b) >= euclid - 1e-12
+
+    def test_shortcut_used(self, square_net):
+        assert square_net.shortest_path_length(0, 2) == pytest.approx(math.sqrt(2))
+
+    def test_around_the_ring(self, square_net):
+        assert square_net.shortest_path_length(1, 3) == pytest.approx(2.0)
+
+    def test_disconnected_is_inf(self):
+        net = RoadNetwork()
+        net.add_node(0, 0, 0)
+        net.add_node(1, 10, 10)
+        assert net.shortest_path_length(0, 1) == math.inf
+
+    def test_cutoff_prunes(self, square_net):
+        reach = square_net.shortest_paths(0, cutoff=1.0)
+        assert set(reach) == {0, 1, 3}
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        net = grid_network(side_km=10, spacing_km=2, seed=1)
+        g = nx.Graph()
+        for a, b, w in net.edges():
+            g.add_edge(a, b, weight=w)
+        source = net.nodes()[0]
+        expected = nx.single_source_dijkstra_path_length(g, source)
+        actual = net.shortest_paths(source)
+        assert set(actual) == set(expected)
+        for node, d in expected.items():
+            assert actual[node] == pytest.approx(d)
+
+
+class TestSnapping:
+    def test_nearest_node(self, square_net):
+        node, offset = square_net.nearest_node(0.1, 0.1)
+        assert node == 0
+        assert offset == pytest.approx(math.hypot(0.1, 0.1))
+
+    def test_snap_many_matches_scalar(self, square_net):
+        xy = np.array([[0.2, 0.1], [0.9, 0.95], [0.4, 0.9]])
+        nodes, offsets = square_net.snap_many(xy)
+        for i in range(3):
+            node, offset = square_net.nearest_node(xy[i, 0], xy[i, 1])
+            assert nodes[i] == node
+            assert offsets[i] == pytest.approx(offset)
+
+    def test_empty_network(self):
+        with pytest.raises(DataError):
+            RoadNetwork().nearest_node(0, 0)
+
+
+class TestGenerators:
+    def test_grid_structure(self):
+        net = grid_network(side_km=10, spacing_km=2)
+        n = 6  # 10/2 + 1
+        assert len(net) == n * n
+        assert net.n_edges == 2 * n * (n - 1)
+
+    def test_grid_connected_after_drops(self):
+        net = grid_network(side_km=10, spacing_km=1, drop_fraction=0.2, seed=3)
+        reach = net.shortest_paths(net.nodes()[0])
+        assert len(reach) == len(net)  # still one component
+
+    def test_grid_validation(self):
+        with pytest.raises(DataError):
+            grid_network(side_km=0, spacing_km=1)
+
+    def test_radial_structure(self):
+        net = radial_network(Point(0, 0), rings=3, spokes=6, ring_spacing_km=1.0)
+        assert len(net) == 1 + 3 * 6
+        # hub connects to the whole first ring
+        assert len(net.neighbors(0)) == 6
+        reach = net.shortest_paths(0)
+        assert len(reach) == len(net)
+
+    def test_radial_validation(self):
+        with pytest.raises(DataError):
+            radial_network(Point(0, 0), rings=0, spokes=6, ring_spacing_km=1)
+        with pytest.raises(DataError):
+            radial_network(Point(0, 0), rings=2, spokes=2, ring_spacing_km=1)

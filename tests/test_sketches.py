@@ -1,0 +1,126 @@
+"""Tests for FM sketches and the sketch-based coverage greedy."""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.competition import InfluenceTable
+from repro.exceptions import DataError, SolverError
+from repro.sketches import FMSketch, exact_coverage_greedy, sketched_coverage_greedy
+from repro.solvers import IQTSolver, MC2LSProblem
+from tests.conftest import build_instance
+
+
+class TestFMSketch:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            FMSketch(n_registers=0)
+        with pytest.raises(DataError):
+            FMSketch(n_registers=48)  # not a power of two
+
+    def test_empty_estimates_zero(self):
+        assert FMSketch().estimate() == 0.0
+
+    def test_idempotent_inserts(self):
+        a = FMSketch(64, seed=1)
+        b = FMSketch(64, seed=1)
+        a.add_many([1, 2, 3])
+        b.add_many([1, 2, 3, 1, 2, 3, 3, 3])
+        assert a.estimate() == b.estimate()
+
+    @pytest.mark.parametrize("true_n", [100, 1000, 10000])
+    def test_estimate_accuracy(self, true_n):
+        """Mean relative error across seeds within the LogLog bound."""
+        estimates = [
+            FMSketch.of(range(true_n), 64, seed).estimate() for seed in range(25)
+        ]
+        ratio = statistics.mean(estimates) / true_n
+        assert 0.8 <= ratio <= 1.25
+
+    def test_more_registers_tighter(self):
+        true_n = 5000
+        def spread(m):
+            vals = [FMSketch.of(range(true_n), m, s).estimate() for s in range(25)]
+            return statistics.pstdev(vals) / true_n
+        assert spread(256) < spread(16)
+
+    def test_union_equals_sketch_of_union(self):
+        rng = np.random.default_rng(0)
+        a_items = set(rng.integers(0, 10_000, 500).tolist())
+        b_items = set(rng.integers(5_000, 15_000, 500).tolist())
+        a = FMSketch.of(a_items, 128, seed=3)
+        b = FMSketch.of(b_items, 128, seed=3)
+        direct = FMSketch.of(a_items | b_items, 128, seed=3)
+        assert a.union(b).estimate() == direct.estimate()
+
+    def test_union_update_matches_union(self):
+        a = FMSketch.of(range(100), 64, 0)
+        b = FMSketch.of(range(50, 200), 64, 0)
+        combined = a.union(b)
+        a.union_update(b)
+        assert a.estimate() == combined.estimate()
+
+    def test_incompatible_union_rejected(self):
+        with pytest.raises(DataError):
+            FMSketch(64, 0).union(FMSketch(128, 0))
+        with pytest.raises(DataError):
+            FMSketch(64, 0).union(FMSketch(64, 1))
+
+    def test_copy_is_independent(self):
+        a = FMSketch.of(range(100), 64, 0)
+        b = a.copy()
+        b.add_many(range(100, 5000))
+        assert a.estimate() < b.estimate()
+
+    def test_monotone_under_union(self):
+        a = FMSketch.of(range(200), 64, 2)
+        b = FMSketch.of(range(150, 400), 64, 2)
+        assert a.union(b).estimate() >= max(a.estimate(), b.estimate())
+
+
+class TestSketchedGreedy:
+    def random_table(self, seed, n_c=20, n_u=400):
+        rng = np.random.default_rng(seed)
+        omega = {
+            cid: set(rng.choice(n_u, size=int(rng.integers(5, n_u // 3)),
+                                replace=False).tolist())
+            for cid in range(n_c)
+        }
+        return InfluenceTable.from_mappings(omega, {})
+
+    def test_validation(self):
+        t = self.random_table(0)
+        with pytest.raises(SolverError):
+            sketched_coverage_greedy(t, list(range(20)), k=0)
+        with pytest.raises(SolverError):
+            exact_coverage_greedy(t, [1], k=2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_close_to_exact_greedy(self, seed):
+        """The sketched selection's true coverage is within 10 % of exact."""
+        t = self.random_table(seed)
+        exact_sel, exact_cov = exact_coverage_greedy(t, list(range(20)), k=5)
+        sketched = sketched_coverage_greedy(t, list(range(20)), k=5,
+                                            n_registers=256, seed=seed)
+        assert sketched.exact_coverage >= 0.9 * exact_cov
+
+    def test_estimate_tracks_truth(self):
+        t = self.random_table(7)
+        out = sketched_coverage_greedy(t, list(range(20)), k=6, n_registers=512)
+        assert out.estimated_coverage == pytest.approx(
+            out.exact_coverage, rel=0.25
+        )
+
+    def test_deterministic(self):
+        t = self.random_table(9)
+        a = sketched_coverage_greedy(t, list(range(20)), k=4, seed=5)
+        b = sketched_coverage_greedy(t, list(range(20)), k=4, seed=5)
+        assert a.selected == b.selected
+
+    def test_on_solver_table(self, small_instance):
+        result = IQTSolver().solve(MC2LSProblem(small_instance, k=3, tau=0.5))
+        cids = [c.fid for c in small_instance.candidates]
+        out = sketched_coverage_greedy(result.table, cids, k=3)
+        assert len(out.selected) == 3
+        assert out.exact_coverage >= 1

@@ -1,0 +1,146 @@
+"""Tests for the social graph substrate and its generators."""
+
+import numpy as np
+import pytest
+
+from repro.entities import MovingUser
+from repro.exceptions import DataError
+from repro.social import SocialGraph, geo_social_graph, scale_free_graph, small_world_graph
+
+
+class TestSocialGraph:
+    def test_basic_operations(self):
+        g = SocialGraph([1, 2, 3])
+        g.add_edge(1, 2)
+        assert len(g) == 3
+        assert g.n_edges == 1
+        assert g.has_edge(2, 1)
+        assert g.neighbors(1) == frozenset({2})
+        assert g.degree(3) == 0
+        assert 3 in g and 99 not in g
+
+    def test_add_edge_creates_nodes(self):
+        g = SocialGraph()
+        g.add_edge(5, 7)
+        assert set(g.nodes()) == {5, 7}
+
+    def test_self_loop_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(DataError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edge_idempotent(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.n_edges == 1
+
+    def test_edges_iteration_sorted_unique(self):
+        g = SocialGraph()
+        g.add_edge(3, 1)
+        g.add_edge(2, 3)
+        assert list(g.edges()) == [(1, 3), (2, 3)]
+
+    def test_mean_degree(self):
+        g = SocialGraph([1, 2, 3, 4])
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        assert g.mean_degree() == pytest.approx(1.0)
+        assert SocialGraph().mean_degree() == 0.0
+
+    def test_networkx_roundtrip(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_edges() == 2
+        back = SocialGraph.from_networkx(nx_graph)
+        assert list(back.edges()) == list(g.edges())
+
+    def test_unknown_node_queries(self):
+        g = SocialGraph([1])
+        assert g.neighbors(42) == frozenset()
+        assert g.degree(42) == 0
+        assert not g.has_edge(42, 1)
+
+
+class TestSmallWorld:
+    def test_structure(self):
+        nodes = list(range(50))
+        g = small_world_graph(nodes, k=4, rewire_p=0.1, seed=1)
+        assert len(g) == 50
+        # WS keeps roughly n*k/2 edges (rewiring preserves the count up to
+        # collisions).
+        assert 80 <= g.n_edges <= 100
+        assert 2 <= g.mean_degree() <= 5
+
+    def test_no_rewiring_is_ring_lattice(self):
+        g = small_world_graph(list(range(10)), k=2, rewire_p=0.0, seed=0)
+        for i in range(10):
+            assert g.has_edge(i, (i + 1) % 10)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            small_world_graph(list(range(10)), k=3)  # odd k
+        with pytest.raises(DataError):
+            small_world_graph(list(range(4)), k=6)  # too few nodes
+
+    def test_deterministic(self):
+        a = small_world_graph(list(range(30)), seed=7)
+        b = small_world_graph(list(range(30)), seed=7)
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestScaleFree:
+    def test_degree_skew(self):
+        g = scale_free_graph(list(range(200)), m=2, seed=3)
+        degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+        # Preferential attachment concentrates degree on early hubs.
+        assert degrees[0] > 3 * (sum(degrees) / len(degrees))
+        assert min(degrees) >= 2
+
+    def test_edge_count(self):
+        g = scale_free_graph(list(range(100)), m=3, seed=0)
+        # Seed clique C(4,2)=6 edges + 96 * 3 new edges.
+        assert g.n_edges == 6 + 96 * 3
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            scale_free_graph([1, 2], m=3)
+
+
+class TestGeoSocial:
+    def make_users(self, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            MovingUser(uid, rng.normal(rng.uniform(0, 50, 2), 1.0, size=(5, 2)))
+            for uid in range(n)
+        ]
+
+    def test_mean_degree_close_to_target(self):
+        users = self.make_users(100)
+        g = geo_social_graph(users, mean_degree=6.0, seed=1)
+        assert 2.0 <= g.mean_degree() <= 10.0
+
+    def test_friendship_distance_decay(self):
+        users = self.make_users(150, seed=2)
+        g = geo_social_graph(users, mean_degree=8.0, scale_km=5.0, seed=2)
+        homes = {u.uid: u.positions.mean(axis=0) for u in users}
+        edge_d = [
+            float(np.linalg.norm(homes[a] - homes[b])) for a, b in g.edges()
+        ]
+        rng = np.random.default_rng(0)
+        random_d = []
+        uids = [u.uid for u in users]
+        for _ in range(len(edge_d)):
+            i, j = rng.choice(len(uids), size=2, replace=False)
+            random_d.append(float(np.linalg.norm(homes[uids[i]] - homes[uids[j]])))
+        assert np.mean(edge_d) < np.mean(random_d)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            geo_social_graph(self.make_users(1), mean_degree=5)
+        with pytest.raises(DataError):
+            geo_social_graph(self.make_users(10), mean_degree=0)
+        with pytest.raises(DataError):
+            geo_social_graph(self.make_users(10), scale_km=-1)

@@ -1,0 +1,172 @@
+"""Tests for interests, the geo-social objective and its greedy solver."""
+
+import numpy as np
+import pytest
+
+from repro.competition import InfluenceTable, cinf_group
+from repro.exceptions import DataError, SolverError
+from repro.social import (
+    CascadeSampler,
+    GeoSocialObjective,
+    GeoSocialSolver,
+    InterestModel,
+    SocialGraph,
+    geo_social_graph,
+    geo_social_greedy,
+    random_interest_model,
+)
+from repro.solvers import MC2LSProblem
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def table():
+    return InfluenceTable.from_mappings(
+        omega_c={1: {1, 2}, 2: {2, 4}, 3: {1, 3}},
+        f_o={1: {1}, 2: {1, 2}, 3: set(), 4: {2}},
+    )
+
+
+class TestInterestModel:
+    def test_affinity_in_unit_interval(self):
+        model = random_interest_model([1, 2, 3], [10, 11], n_topics=6, seed=0)
+        for uid in (1, 2, 3):
+            for cid in (10, 11):
+                assert 0.0 <= model.affinity(uid, cid) <= 1.0 + 1e-9
+
+    def test_identical_vectors_have_affinity_one(self):
+        v = np.array([1.0, 2.0, 3.0])
+        model = InterestModel({1: v}, {10: v.copy()})
+        assert model.affinity(1, 10) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors_have_affinity_zero(self):
+        model = InterestModel(
+            {1: np.array([1.0, 0.0])}, {10: np.array([0.0, 1.0])}
+        )
+        assert model.affinity(1, 10) == pytest.approx(0.0)
+
+    def test_unknown_entities_neutral(self):
+        model = random_interest_model([1], [10], seed=0)
+        assert model.affinity(99, 10) == 1.0
+        assert model.affinity(1, 99) == 1.0
+
+    def test_best_affinity(self):
+        model = InterestModel(
+            {1: np.array([1.0, 0.0])},
+            {10: np.array([0.0, 1.0]), 11: np.array([1.0, 0.0])},
+        )
+        assert model.best_affinity(1, [10, 11]) == pytest.approx(1.0)
+        assert model.best_affinity(1, []) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            InterestModel({}, {1: np.ones(3)})
+        with pytest.raises(DataError):
+            InterestModel({1: np.ones(3)}, {1: np.ones(4)})
+        with pytest.raises(DataError):
+            InterestModel({1: np.zeros(3)}, {1: np.ones(3)})
+        with pytest.raises(DataError):
+            InterestModel({1: -np.ones(3)}, {1: np.ones(3)})
+        with pytest.raises(DataError):
+            random_interest_model([1], [2], n_topics=0)
+
+
+class TestGeoSocialObjective:
+    def test_reduces_to_cinf_without_extras(self, table):
+        objective = GeoSocialObjective(table)
+        assert objective.value([1, 3]) == pytest.approx(cinf_group(table, [1, 3]))
+
+    def test_interest_weighting_shrinks_value(self, table):
+        # Orthogonal interests zero out user 1's contribution through c1.
+        interests = InterestModel(
+            {1: np.array([1.0, 0.0])},
+            {1: np.array([0.0, 1.0]), 2: np.ones(2), 3: np.ones(2)},
+        )
+        plain = GeoSocialObjective(table)
+        weighted = GeoSocialObjective(table, interests=interests)
+        assert weighted.value([1]) < plain.value([1])
+
+    def test_social_term_adds_value(self, table):
+        g = SocialGraph()
+        g.add_edge(1, 9)  # captured user 1 can activate outsider 9
+        sampler = CascadeSampler(g, probability=1.0, n_worlds=4)
+        plain = GeoSocialObjective(table)
+        social = GeoSocialObjective(table, sampler=sampler, beta=1.0)
+        assert social.value([1]) == pytest.approx(plain.value([1]) + 3.0)
+        # (seeds {1,2} -> reaches 9: spread = 3 with probability 1.0)
+
+    def test_beta_validation(self, table):
+        with pytest.raises(SolverError):
+            GeoSocialObjective(table, beta=-1.0)
+
+    def test_marginal(self, table):
+        objective = GeoSocialObjective(table)
+        assert objective.marginal((3,), 2) == pytest.approx(
+            cinf_group(table, [3, 2]) - cinf_group(table, [3])
+        )
+
+    def test_monotone_submodular_empirically(self, table):
+        g = SocialGraph()
+        for a, b in [(1, 2), (2, 3), (3, 4), (1, 4)]:
+            g.add_edge(a, b)
+        sampler = CascadeSampler(g, probability=0.3, n_worlds=32, seed=0)
+        objective = GeoSocialObjective(table, sampler=sampler, beta=0.7)
+        # monotone
+        assert objective.value([1]) <= objective.value([1, 2]) + 1e-12
+        assert objective.value([1, 2]) <= objective.value([1, 2, 3]) + 1e-12
+        # submodular: gain of 2 given {} vs given {1, 3}
+        g_empty = objective.value([2])
+        g_large = objective.value([1, 3, 2]) - objective.value([1, 3])
+        assert g_empty >= g_large - 1e-12
+
+
+class TestGeoSocialGreedy:
+    def test_matches_plain_greedy_without_extras(self, table):
+        objective = GeoSocialObjective(table)
+        selected, value, gains = geo_social_greedy(objective, [1, 2, 3], k=2)
+        assert selected == (3, 2)  # the paper's Example 4 sequence
+        assert value == pytest.approx(cinf_group(table, [3, 2]))
+        assert len(gains) == 2
+
+    def test_validation(self, table):
+        objective = GeoSocialObjective(table)
+        with pytest.raises(SolverError):
+            geo_social_greedy(objective, [1, 2], k=3)
+
+    def test_social_term_can_change_selection(self):
+        # Two candidates, equal spatial value; candidate 2's user is a hub.
+        table = InfluenceTable.from_mappings(
+            omega_c={1: {1}, 2: {2}}, f_o={1: set(), 2: set()}
+        )
+        g = SocialGraph()
+        for friend in (10, 11, 12, 13):
+            g.add_edge(2, friend)
+        sampler = CascadeSampler(g, probability=1.0, n_worlds=4)
+        objective = GeoSocialObjective(table, sampler=sampler, beta=1.0)
+        selected, _, _ = geo_social_greedy(objective, [1, 2], k=1)
+        assert selected == (2,)  # word of mouth flips the tie
+
+
+class TestGeoSocialSolver:
+    def test_end_to_end(self):
+        dataset = build_instance(seed=5, n_users=25, n_candidates=10, n_facilities=6)
+        graph = geo_social_graph(dataset.users, mean_degree=4.0, seed=1)
+        interests = random_interest_model(
+            [u.uid for u in dataset.users],
+            [c.fid for c in dataset.candidates],
+            seed=1,
+        )
+        solver = GeoSocialSolver(graph=graph, interests=interests, beta=0.5, seed=2)
+        result = solver.solve(MC2LSProblem(dataset, k=3, tau=0.4))
+        assert len(result.selected) == 3
+        assert result.objective > 0
+        assert len(result.gains) == 3
+        assert result.timings["total"] >= result.timings["greedy"]
+        # gains non-increasing (submodularity of the combined objective)
+        assert all(a >= b - 1e-9 for a, b in zip(result.gains, result.gains[1:]))
+
+    def test_reduces_to_spatial_without_graph_and_interests(self):
+        dataset = build_instance(seed=6, n_users=25, n_candidates=8, n_facilities=5)
+        solver = GeoSocialSolver()
+        result = solver.solve(MC2LSProblem(dataset, k=3, tau=0.4))
+        assert result.selected == result.spatial_only

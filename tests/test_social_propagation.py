@@ -1,0 +1,93 @@
+"""Tests for Independent Cascade propagation and the fixed-worlds sampler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.social import CascadeSampler, SocialGraph, simulate_cascade, small_world_graph
+
+
+@pytest.fixture
+def chain_graph():
+    g = SocialGraph()
+    for i in range(9):
+        g.add_edge(i, i + 1)
+    return g
+
+
+@pytest.fixture
+def ws_graph():
+    return small_world_graph(list(range(60)), k=4, rewire_p=0.2, seed=5)
+
+
+class TestCascadeSampler:
+    def test_validation(self, chain_graph):
+        with pytest.raises(DataError):
+            CascadeSampler(chain_graph, probability=1.5)
+        with pytest.raises(DataError):
+            CascadeSampler(chain_graph, n_worlds=0)
+
+    def test_empty_seed_set(self, chain_graph):
+        sampler = CascadeSampler(chain_graph)
+        assert sampler.spread([]) == 0.0
+
+    def test_spread_includes_seeds(self, chain_graph):
+        sampler = CascadeSampler(chain_graph, probability=0.0)
+        assert sampler.spread([3, 7]) == pytest.approx(2.0)
+
+    def test_probability_one_reaches_component(self, chain_graph):
+        sampler = CascadeSampler(chain_graph, probability=1.0, n_worlds=4)
+        assert sampler.spread([0]) == pytest.approx(10.0)
+
+    def test_deterministic_given_seed(self, ws_graph):
+        a = CascadeSampler(ws_graph, probability=0.2, n_worlds=32, seed=9)
+        b = CascadeSampler(ws_graph, probability=0.2, n_worlds=32, seed=9)
+        assert a.spread([1, 5, 9]) == b.spread([1, 5, 9])
+
+    def test_monotone_in_seeds(self, ws_graph):
+        sampler = CascadeSampler(ws_graph, probability=0.15, n_worlds=32, seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            seeds = set(rng.choice(60, size=5, replace=False).tolist())
+            extra = int(rng.integers(60))
+            assert sampler.spread(seeds | {extra}) >= sampler.spread(seeds) - 1e-12
+
+    def test_submodular_in_seeds(self, ws_graph):
+        """σ(S ∪ {x}) − σ(S) shrinks as S grows (fixed worlds = exact)."""
+        sampler = CascadeSampler(ws_graph, probability=0.15, n_worlds=32, seed=2)
+        small = frozenset({1, 2})
+        large = frozenset({1, 2, 10, 20, 30})
+        for x in (5, 15, 25, 45):
+            gain_small = sampler.marginal_spread(small, [x])
+            gain_large = sampler.marginal_spread(large, [x])
+            assert gain_small >= gain_large - 1e-12
+
+    def test_spread_bounded_by_population(self, ws_graph):
+        sampler = CascadeSampler(ws_graph, probability=0.9, n_worlds=8, seed=0)
+        assert sampler.spread(range(10)) <= len(ws_graph)
+
+    def test_cache_hit(self, chain_graph):
+        sampler = CascadeSampler(chain_graph, probability=0.5, n_worlds=16)
+        first = sampler.spread([0, 5])
+        second = sampler.spread([5, 0])  # same frozenset
+        assert first == second
+
+    def test_graph_without_edges(self):
+        g = SocialGraph([1, 2, 3])
+        sampler = CascadeSampler(g, probability=0.5)
+        assert sampler.spread([1, 2]) == pytest.approx(2.0)
+
+
+class TestSimulateCascade:
+    def test_zero_probability_only_seeds(self, chain_graph):
+        out = simulate_cascade(chain_graph, [4], probability=0.0)
+        assert out == {4}
+
+    def test_probability_one_full_component(self, chain_graph):
+        out = simulate_cascade(chain_graph, [0], probability=1.0)
+        assert out == set(range(10))
+
+    def test_activated_superset_of_seeds(self, ws_graph):
+        rng = np.random.default_rng(3)
+        out = simulate_cascade(ws_graph, [1, 2, 3], probability=0.3, rng=rng)
+        assert {1, 2, 3} <= out

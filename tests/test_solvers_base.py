@@ -1,0 +1,86 @@
+"""Tests for the solver base types (problem validation, timers, results)."""
+
+import time
+
+import pytest
+
+from repro.competition import InfluenceTable
+from repro.influence import EvaluationStats
+from repro.solvers import MC2LSProblem, SolverResult
+from repro.solvers.base import PhaseTimer
+from tests.conftest import build_instance
+
+
+class TestPhaseTimer:
+    def test_phases_and_total(self):
+        timer = PhaseTimer()
+        with timer.mark("a"):
+            time.sleep(0.01)
+        with timer.mark("b"):
+            pass
+        timings = timer.finish()
+        assert timings["a"] >= 0.01
+        assert "b" in timings
+        assert timings["total"] >= timings["a"]
+
+    def test_repeated_phase_accumulates(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.mark("x"):
+                time.sleep(0.002)
+        timings = timer.finish()
+        assert timings["x"] >= 0.006
+
+    def test_phase_records_even_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.mark("boom"):
+                raise RuntimeError("nope")
+        assert timer.timings["boom"] >= 0
+
+
+class TestProblemDefaults:
+    def test_default_pf_is_paper_sigmoid(self, small_instance):
+        problem = MC2LSProblem(small_instance, k=2)
+        assert float(problem.pf(0.0)) == pytest.approx(0.5)
+        assert problem.tau == 0.7
+
+    def test_frozen(self, small_instance):
+        problem = MC2LSProblem(small_instance, k=2)
+        with pytest.raises(AttributeError):
+            problem.k = 5  # type: ignore[misc]
+
+
+class TestSolverResult:
+    def test_total_time_property(self):
+        result = SolverResult(
+            selected=(1,),
+            objective=1.0,
+            table=InfluenceTable(),
+            timings={"total": 2.5},
+            evaluation=EvaluationStats(),
+        )
+        assert result.total_time == 2.5
+
+    def test_total_time_defaults_to_zero(self):
+        result = SolverResult(
+            selected=(),
+            objective=0.0,
+            table=InfluenceTable(),
+            timings={},
+            evaluation=EvaluationStats(),
+        )
+        assert result.total_time == 0.0
+
+
+class TestPackageApi:
+    def test_public_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,88 @@
+"""Tests for the budget-constrained solver."""
+
+import pytest
+
+from repro.competition import cinf_group
+from repro.exceptions import SolverError
+from repro.solvers import BudgetedGreedySolver, IQTSolver, MC2LSProblem
+from tests.conftest import build_instance
+
+
+def uniform_costs(dataset, cost=1.0):
+    return {c.fid: cost for c in dataset.candidates}
+
+
+class TestValidation:
+    def test_bad_budget_and_costs(self, small_instance):
+        with pytest.raises(SolverError):
+            BudgetedGreedySolver(uniform_costs(small_instance), budget=0)
+        with pytest.raises(SolverError):
+            BudgetedGreedySolver({0: -1.0}, budget=5)
+
+    def test_missing_costs_detected(self, small_instance):
+        solver = BudgetedGreedySolver({0: 1.0}, budget=5)
+        with pytest.raises(SolverError):
+            solver.solve(MC2LSProblem(small_instance, k=2, tau=0.5))
+
+
+class TestBudgetedSelection:
+    def test_respects_budget(self, small_instance):
+        costs = uniform_costs(small_instance, 2.0)
+        solver = BudgetedGreedySolver(costs, budget=7.0)
+        result = solver.solve(MC2LSProblem(small_instance, k=2, tau=0.5))
+        assert solver.total_cost(result.selected) <= 7.0
+        assert len(result.selected) == 3  # floor(7 / 2)
+
+    def test_uniform_costs_match_cardinality_greedy(self, small_instance):
+        """Unit costs with budget k reduce to the plain greedy prefix."""
+        problem = MC2LSProblem(small_instance, k=3, tau=0.5)
+        plain = IQTSolver().solve(problem)
+        budgeted = BudgetedGreedySolver(
+            uniform_costs(small_instance, 1.0), budget=3.0
+        ).solve(problem)
+        assert budgeted.selected == plain.selected
+
+    def test_cheap_pair_beats_expensive_star(self):
+        """Ratio greedy avoids one expensive site when two cheap sites
+        jointly capture more per unit budget."""
+        dataset = build_instance(seed=40, n_users=30, n_candidates=8)
+        problem = MC2LSProblem(dataset, k=2, tau=0.4)
+        reference = IQTSolver().solve(problem)
+        best = reference.selected[0]
+        # Make the plain-greedy winner unaffordable alongside anything else.
+        costs = {c.fid: 1.0 for c in dataset.candidates}
+        costs[best] = 10.0
+        solver = BudgetedGreedySolver(costs, budget=3.0)
+        result = solver.solve(problem)
+        assert best not in result.selected
+        assert solver.total_cost(result.selected) <= 3.0
+        assert result.objective > 0
+
+    def test_best_single_fallback(self):
+        """When one whale candidate dominates, the single-element arm of
+        the Khuller comparison must win over a penny-wise ratio pick."""
+        dataset = build_instance(seed=41, n_users=40, n_candidates=6)
+        problem = MC2LSProblem(dataset, k=2, tau=0.4)
+        reference = IQTSolver().solve(problem)
+        whale = reference.selected[0]
+        costs = {c.fid: 0.5 for c in dataset.candidates}
+        costs[whale] = 5.0
+        solver = BudgetedGreedySolver(costs, budget=5.0)
+        result = solver.solve(problem)
+        table = result.table
+        # whichever arm won, it must not be worse than the whale alone
+        assert result.objective >= cinf_group(table, [whale]) - 1e-9
+
+    def test_unaffordable_everything(self, small_instance):
+        costs = uniform_costs(small_instance, 100.0)
+        solver = BudgetedGreedySolver(costs, budget=5.0)
+        result = solver.solve(MC2LSProblem(small_instance, k=2, tau=0.5))
+        assert result.selected == ()
+        assert result.objective == 0.0
+
+    def test_objective_matches_group_value(self, small_instance):
+        solver = BudgetedGreedySolver(uniform_costs(small_instance), budget=4.0)
+        result = solver.solve(MC2LSProblem(small_instance, k=2, tau=0.5))
+        assert result.objective == pytest.approx(
+            cinf_group(result.table, list(result.selected))
+        )

@@ -1,0 +1,94 @@
+"""Tests for the capacitated MC²LS variant."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solvers import (
+    CapacitatedGreedySolver,
+    IQTSolver,
+    MC2LSProblem,
+)
+from repro.solvers.capacitated import _assignment_value
+from repro.competition import InfluenceTable
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def star_table():
+    """One hub candidate covering 4 users, two spokes covering 1 each."""
+    return InfluenceTable.from_mappings(
+        omega_c={0: {1, 2, 3, 4}, 1: {1}, 2: {5}},
+        f_o={uid: set() for uid in range(1, 6)},
+    )
+
+
+UNIT_WEIGHTS = {uid: 1.0 for uid in range(1, 6)}
+
+
+class TestAssignmentValue:
+    def test_unlimited_capacity_counts_coverage(self, star_table):
+        value, served = _assignment_value(star_table, [0, 1, 2], 100, UNIT_WEIGHTS)
+        assert value == pytest.approx(5.0)
+        assert len(served[0]) == 4
+
+    def test_capacity_binds(self, star_table):
+        value, served = _assignment_value(star_table, [0], 2, UNIT_WEIGHTS)
+        assert value == pytest.approx(2.0)
+        assert len(served[0]) == 2
+
+    def test_overflow_spills_to_other_sites(self, star_table):
+        # Hub capped at 2; user 1 can spill to spoke 1.
+        value, served = _assignment_value(star_table, [0, 1], 2, UNIT_WEIGHTS)
+        assert value == pytest.approx(3.0)
+        all_served = [uid for uids in served.values() for uid in uids]
+        assert len(all_served) == len(set(all_served))  # each user served once
+
+    def test_heavier_users_served_first(self):
+        table = InfluenceTable.from_mappings(
+            omega_c={0: {1, 2}}, f_o={1: {10, 11}, 2: set()}
+        )
+        weights = {1: 1.0 / 3.0, 2: 1.0}
+        value, served = _assignment_value(table, [0], 1, weights)
+        assert served[0] == [2]  # the full-weight user wins the slot
+        assert value == pytest.approx(1.0)
+
+
+class TestCapacitatedSolver:
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            CapacitatedGreedySolver(capacity=0)
+
+    def test_huge_capacity_matches_uncapacitated(self, small_instance):
+        problem = MC2LSProblem(small_instance, k=3, tau=0.5)
+        plain = IQTSolver().solve(problem)
+        capped = CapacitatedGreedySolver(capacity=10_000).solve(problem)
+        assert capped.selected == plain.selected
+        assert capped.objective == pytest.approx(plain.objective)
+
+    def test_tight_capacity_spreads_sites(self):
+        dataset = build_instance(seed=20, n_users=40, n_candidates=10,
+                                 n_facilities=5, clustered=True)
+        problem = MC2LSProblem(dataset, k=3, tau=0.4)
+        tight = CapacitatedGreedySolver(capacity=2).solve(problem)
+        loose = CapacitatedGreedySolver(capacity=1_000).solve(problem)
+        # A binding capacity can only reduce the captured value.
+        assert tight.objective <= loose.objective + 1e-9
+        # And it serves at most capacity x k users' worth of weight slots.
+        assert tight.objective <= 2 * 3 + 1e-9
+
+    def test_gains_structure(self, small_instance):
+        problem = MC2LSProblem(small_instance, k=4, tau=0.5)
+        result = CapacitatedGreedySolver(capacity=3).solve(problem)
+        assert len(result.gains) == 4
+        assert all(g >= -1e-12 for g in result.gains)
+        assert result.objective == pytest.approx(sum(result.gains), abs=1e-9)
+
+    def test_outcome_details_assignment_valid(self, small_instance):
+        problem = MC2LSProblem(small_instance, k=3, tau=0.5)
+        solver = CapacitatedGreedySolver(capacity=4)
+        outcome = solver.outcome_details(problem)
+        served_all = [uid for uids in outcome.assignment.values() for uid in uids]
+        assert len(served_all) == len(set(served_all))
+        for cid, uids in outcome.assignment.items():
+            assert len(uids) <= 4
+            assert cid in outcome.selected

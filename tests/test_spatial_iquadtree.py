@@ -1,0 +1,197 @@
+"""Unit and property tests for the IQuad-tree (the paper's index)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.entities import MovingUser
+from repro.exceptions import IndexError_
+from repro.geo import Rect
+from repro.influence import InfluenceEvaluator, paper_default_pf
+from repro.spatial import IQuadTree
+
+PF = paper_default_pf()
+REGION = Rect(0, 0, 40, 40)
+
+
+def make_users(n=40, r=12, seed=0, region=REGION):
+    """Users with Gaussian activity clouds scattered over the region."""
+    rng = np.random.default_rng(seed)
+    users = []
+    for uid in range(n):
+        center = rng.uniform(
+            [region.min_x + 3, region.min_y + 3],
+            [region.max_x - 3, region.max_y - 3],
+        )
+        pos = rng.normal(center, scale=1.5, size=(r, 2))
+        pos = np.clip(pos, [region.min_x, region.min_y], [region.max_x, region.max_y])
+        users.append(MovingUser(uid, pos))
+    return users
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return IQuadTree(make_users(), d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            IQuadTree(make_users(2), d_hat=0, tau=0.7, pf=PF, region=REGION)
+        with pytest.raises(IndexError_):
+            IQuadTree([], d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+
+    def test_leaf_diagonal_at_most_d_hat(self, tree):
+        assert tree.level_diagonal(tree.depth) <= tree.d_hat + 1e-9
+
+    def test_depth_not_excessive(self, tree):
+        # one level shallower would violate the diagonal bound
+        if tree.depth > 0:
+            assert tree.level_diagonal(tree.depth - 1) > tree.d_hat
+
+    def test_counts_conserve_positions(self, tree):
+        users = make_users()
+        total_positions = sum(u.r for u in users)
+        for level in range(tree.depth + 1):
+            assert int(tree._run_counts[level].sum()) == total_positions
+
+    def test_eta_monotone_in_level(self, tree):
+        # deeper level -> smaller diagonal -> smaller eta
+        etas = [tree.eta_for_level(level) for level in range(tree.depth + 1)]
+        assert all(a >= b for a, b in zip(etas, etas[1:]))
+
+    def test_nir_positive(self, tree):
+        assert tree.nir > 0
+
+    def test_describe(self, tree):
+        assert "IQuadTree" in tree.describe()
+
+
+class TestLeafAddressing:
+    def test_inside_points(self, tree):
+        cell = tree.leaf_cell_of(1.0, 1.0)
+        rect = tree.node_rect(tree.depth, *cell)
+        assert rect.contains_xy(1.0, 1.0)
+
+    def test_boundary_clamps(self, tree):
+        cell = tree.leaf_cell_of(40.0, 40.0)
+        assert all(0 <= c < tree._grid for c in cell)
+        cell = tree.leaf_cell_of(-5.0, 500.0)
+        assert all(0 <= c < tree._grid for c in cell)
+
+
+class TestTraversalSoundness:
+    """The heart of the index: its three-way split must be *sound*.
+
+    For every abstract facility position v:
+      * every user in `influenced` must satisfy Pr_v(o) >= tau,
+      * every user pruned (neither influenced nor to_verify) must satisfy
+        Pr_v(o) < tau.
+    Users in `to_verify` may fall either way.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("tau", [0.3, 0.7])
+    @pytest.mark.parametrize("exact_rounded", [False, True])
+    def test_sound_against_exact_model(self, seed, tau, exact_rounded):
+        users = make_users(n=30, r=10, seed=seed)
+        t = IQuadTree(
+            users, d_hat=2.0, tau=tau, pf=PF, region=REGION, exact_rounded=exact_rounded
+        )
+        ev = InfluenceEvaluator(PF, tau=tau, early_stopping=False)
+        by_uid = {u.uid: u for u in users}
+        rng = np.random.default_rng(seed + 50)
+        for vx, vy in rng.uniform(0, 40, size=(25, 2)):
+            res = t.traverse(float(vx), float(vy))
+            for uid in res.influenced:
+                assert ev.probability(vx, vy, by_uid[uid].positions) >= tau - 1e-9
+            pruned = set(by_uid) - set(res.influenced) - set(res.to_verify)
+            for uid in pruned:
+                assert ev.probability(vx, vy, by_uid[uid].positions) < tau
+
+    def test_disjoint_sets(self, tree):
+        res = tree.traverse(20.0, 20.0)
+        assert not (set(res.influenced) & set(res.to_verify))
+
+    def test_exact_rounded_prunes_no_less(self):
+        users = make_users(n=30, r=10, seed=4)
+        loose = IQuadTree(users, d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+        tight = IQuadTree(
+            users, d_hat=2.0, tau=0.7, pf=PF, region=REGION, exact_rounded=True
+        )
+        rng = np.random.default_rng(99)
+        for vx, vy in rng.uniform(0, 40, size=(10, 2)):
+            a = loose.traverse(float(vx), float(vy))
+            b = tight.traverse(float(vx), float(vy))
+            assert set(b.influenced) == set(a.influenced)
+            assert set(b.to_verify) <= set(a.to_verify)
+
+
+class TestBatchWiseMemoisation:
+    def test_same_leaf_hits_cache(self):
+        users = make_users(n=20, seed=5)
+        t = IQuadTree(users, d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+        a = t.traverse(10.0, 10.0)
+        hits_before = t.stats.leaf_cache_hits
+        b = t.traverse(10.1, 10.1)  # same 1.41-km leaf cell
+        assert t.leaf_cell_of(10.0, 10.0) == t.leaf_cell_of(10.1, 10.1)
+        assert t.stats.leaf_cache_hits == hits_before + 1
+        assert a.influenced == b.influenced and a.to_verify == b.to_verify
+
+    def test_omega_inf_computed_once_per_node(self):
+        users = make_users(n=20, seed=6)
+        t = IQuadTree(users, d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+        t.traverse(5.0, 5.0)
+        first = t.stats.omega_inf_computations
+        t.traverse(5.0, 35.0)  # different leaf, shares only upper levels
+        second = t.stats.omega_inf_computations - first
+        # The second traversal reuses at least the root's omega_inf.
+        assert second < t.depth + 1
+
+    def test_pair_accounting(self):
+        users = make_users(n=25, seed=7)
+        t = IQuadTree(users, d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+        t.traverse(12.0, 12.0)
+        t.traverse(30.0, 8.0)
+        assert t.stats.traversals == 2
+        assert t.stats.pairs_total == 2 * len(users)
+
+    def test_stats_reset(self):
+        users = make_users(n=10, seed=8)
+        t = IQuadTree(users, d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+        t.traverse(1.0, 1.0)
+        t.stats.reset()
+        assert t.stats.traversals == 0
+        assert t.stats.pairs_total == 0
+
+
+class TestISRuleAtScale:
+    def test_concentrated_user_is_confirmed_via_is(self):
+        """A user with many positions piled next to a facility must be
+        IS-confirmed (not merely sent to verification)."""
+        pos = np.random.default_rng(0).normal([20.0, 20.0], 0.05, size=(40, 2))
+        users = [MovingUser(0, pos)] + make_users(n=5, seed=9)
+        users = [MovingUser(i, u.positions) for i, u in enumerate(users)]
+        t = IQuadTree(users, d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+        res = t.traverse(20.0, 20.0)
+        assert 0 in res.influenced
+
+    def test_remote_user_is_nir_pruned(self):
+        far = MovingUser(0, np.full((10, 2), 39.0))
+        near = MovingUser(1, np.full((10, 2), 1.0))
+        t = IQuadTree([far, near], d_hat=2.0, tau=0.7, pf=PF, region=REGION)
+        res = t.traverse(1.0, 1.0)
+        assert 0 not in res.influenced
+        assert 0 not in res.to_verify  # pruned by NIR
+
+
+class TestPositionsInLeaf:
+    def test_returns_copy_with_right_positions(self, tree):
+        users = make_users()
+        u = users[0]
+        cell = tree.leaf_cell_of(float(u.positions[0, 0]), float(u.positions[0, 1]))
+        stored = tree.positions_in_leaf(cell)
+        assert u.uid in stored
+        rect = tree.node_rect(tree.depth, *cell)
+        assert rect.expanded(1e-9).contains_mask(stored[u.uid]).all()

@@ -1,0 +1,172 @@
+"""Unit and property tests for the R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import IndexError_
+from repro.geo import Point, Rect
+from repro.spatial import RTree
+
+
+def random_points(n, seed=0, lo=0.0, hi=100.0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(lo, hi, size=(n, 2))]
+
+
+def brute_force_range(points, rect):
+    return {i for i, p in enumerate(points) if rect.contains_point(p)}
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=1)
+        with pytest.raises(IndexError_):
+            RTree(max_entries=8, min_entries=5)  # > M/2
+        with pytest.raises(IndexError_):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_empty_tree(self):
+        t = RTree()
+        assert len(t) == 0
+        assert t.bounds() is None
+        assert t.range_query(Rect(0, 0, 1, 1)) == []
+
+    def test_len_and_bounds(self):
+        t = RTree()
+        t.insert_point(Point(0, 0), "a")
+        t.insert_point(Point(10, 5), "b")
+        assert len(t) == 2
+        assert t.bounds() == Rect(0, 0, 10, 5)
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("n", [1, 5, 50, 400])
+    def test_matches_brute_force(self, n):
+        points = random_points(n, seed=n)
+        t = RTree(max_entries=4)
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+        for rect in [
+            Rect(10, 10, 40, 40),
+            Rect(0, 0, 100, 100),
+            Rect(99.5, 99.5, 100, 100),
+            Rect(-10, -10, -5, -5),
+        ]:
+            assert set(t.range_query(rect)) == brute_force_range(points, rect)
+
+    def test_rect_items_intersection_semantics(self):
+        t = RTree()
+        t.insert(Rect(0, 0, 10, 10), "big")
+        t.insert(Rect(20, 20, 30, 30), "far")
+        assert t.range_query(Rect(5, 5, 6, 6)) == ["big"]  # contained query
+        assert set(t.range_query(Rect(9, 9, 25, 25))) == {"big", "far"}
+
+    def test_duplicate_points(self):
+        t = RTree(max_entries=4)
+        for i in range(20):
+            t.insert_point(Point(1.0, 1.0), i)
+        assert set(t.range_query(Rect(0, 0, 2, 2))) == set(range(20))
+
+
+class TestNearest:
+    def test_nearest_matches_brute_force(self):
+        points = random_points(200, seed=7)
+        t = RTree(max_entries=6)
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+        q = Point(50, 50)
+        dists = sorted(range(200), key=lambda i: q.distance_to(points[i]))
+        assert t.nearest(q, k=1) == [dists[0]]
+        assert t.nearest(q, k=5) == dists[:5]
+
+    def test_nearest_k_larger_than_size(self):
+        t = RTree()
+        t.insert_point(Point(0, 0), "a")
+        assert t.nearest(Point(1, 1), k=10) == ["a"]
+
+    def test_nearest_validation(self):
+        with pytest.raises(IndexError_):
+            RTree().nearest(Point(0, 0), k=0)
+
+
+class TestStructuralInvariants:
+    def _check_node(self, tree, node, is_root):
+        if not is_root and len(node.entries) > 0:
+            assert len(node.entries) <= tree.max_entries
+        if not node.is_leaf:
+            for e in node.entries:
+                child = e.child
+                assert child.parent is node
+                # parent entry rect must cover the child's MBR
+                assert e.rect.contains_rect(child.mbr())
+                self._check_node(tree, child, is_root=False)
+
+    def test_invariants_after_many_inserts(self):
+        t = RTree(max_entries=4)
+        for i, p in enumerate(random_points(300, seed=3)):
+            t.insert_point(p, i)
+        self._check_node(t, t._root, is_root=True)
+
+    def test_height_grows_logarithmically(self):
+        t = RTree(max_entries=4)
+        for i, p in enumerate(random_points(500, seed=9)):
+            t.insert_point(p, i)
+        assert 2 <= t.height <= 8
+
+    def test_items_roundtrip(self):
+        points = random_points(50, seed=11)
+        t = RTree()
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+        collected = sorted(item for _, item in t.items())
+        assert collected == list(range(50))
+
+
+class TestBulkLoad:
+    def test_str_matches_dynamic_queries(self):
+        points = random_points(300, seed=5)
+        entries = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+        t = RTree.bulk_load(entries, max_entries=8)
+        assert len(t) == 300
+        for rect in [Rect(0, 0, 25, 25), Rect(40, 40, 60, 80)]:
+            assert set(t.range_query(rect)) == brute_force_range(points, rect)
+
+    def test_bulk_load_empty(self):
+        t = RTree.bulk_load([])
+        assert len(t) == 0
+
+    def test_bulk_load_single(self):
+        t = RTree.bulk_load([(Rect.from_point(Point(1, 1)), "x")])
+        assert t.range_query(Rect(0, 0, 2, 2)) == ["x"]
+
+    def test_from_points(self):
+        points = random_points(64, seed=13)
+        t = RTree.from_points((p, i) for i, p in enumerate(points))
+        assert set(t.range_query(Rect(0, 0, 100, 100))) == set(range(64))
+
+    def test_bulk_height_compact(self):
+        points = random_points(512, seed=17)
+        t = RTree.bulk_load([(Rect.from_point(p), i) for i, p in enumerate(points)])
+        # 512 items at fan-out 8 should pack into ~3 levels.
+        assert t.height <= 4
+
+
+@given(
+    seeds=st.integers(0, 1000),
+    n=st.integers(1, 120),
+    qx=st.floats(0, 90),
+    qy=st.floats(0, 90),
+    w=st.floats(0.1, 40),
+    h=st.floats(0.1, 40),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_range_query_always_matches(seeds, n, qx, qy, w, h):
+    points = random_points(n, seed=seeds)
+    t = RTree(max_entries=4)
+    for i, p in enumerate(points):
+        t.insert_point(p, i)
+    rect = Rect(qx, qy, qx + w, qy + h)
+    assert set(t.range_query(rect)) == brute_force_range(points, rect)

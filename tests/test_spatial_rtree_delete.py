@@ -1,0 +1,131 @@
+"""Tests for R-tree deletion (Guttman's Delete + CondenseTree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import Point, Rect
+from repro.spatial import RTree
+
+
+def random_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, 100, size=(n, 2))]
+
+
+def brute_force(points, alive, rect):
+    return {i for i in alive if rect.contains_point(points[i])}
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        t = RTree(max_entries=4)
+        points = random_points(30)
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+        assert t.delete_point(points[7], 7)
+        assert len(t) == 29
+        assert 7 not in t.range_query(Rect(0, 0, 100, 100))
+
+    def test_delete_missing_returns_false(self):
+        t = RTree()
+        t.insert_point(Point(1, 1), "a")
+        assert not t.delete_point(Point(2, 2), "a")
+        assert not t.delete_point(Point(1, 1), "b")
+        assert len(t) == 1
+
+    def test_delete_from_empty(self):
+        assert not RTree().delete_point(Point(0, 0), "x")
+
+    def test_delete_all_then_reuse(self):
+        t = RTree(max_entries=4)
+        points = random_points(50, seed=2)
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+        for i, p in enumerate(points):
+            assert t.delete_point(p, i)
+        assert len(t) == 0
+        assert t.range_query(Rect(0, 0, 100, 100)) == []
+        # The tree must still accept inserts after total erasure.
+        t.insert_point(Point(5, 5), "new")
+        assert t.range_query(Rect(0, 0, 10, 10)) == ["new"]
+
+    def test_duplicate_locations_delete_one(self):
+        t = RTree(max_entries=4)
+        for i in range(10):
+            t.insert_point(Point(3, 3), i)
+        assert t.delete_point(Point(3, 3), 4)
+        remaining = set(t.range_query(Rect(0, 0, 10, 10)))
+        assert remaining == set(range(10)) - {4}
+
+    def test_queries_correct_after_mixed_workload(self):
+        points = random_points(200, seed=5)
+        t = RTree(max_entries=4)
+        alive = set()
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+            alive.add(i)
+        rng = np.random.default_rng(9)
+        for i in rng.choice(200, size=120, replace=False).tolist():
+            assert t.delete_point(points[i], i)
+            alive.discard(i)
+        assert len(t) == len(alive)
+        for rect in [Rect(0, 0, 100, 100), Rect(20, 20, 60, 60), Rect(90, 0, 100, 30)]:
+            assert set(t.range_query(rect)) == brute_force(points, alive, rect)
+
+    def test_structure_stays_valid_after_deletes(self):
+        points = random_points(150, seed=7)
+        t = RTree(max_entries=4)
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+        rng = np.random.default_rng(1)
+        for i in rng.choice(150, size=100, replace=False).tolist():
+            t.delete_point(points[i], i)
+
+        def check(node, is_root):
+            if not is_root:
+                assert self_min <= len(node.entries) <= t.max_entries
+            if not node.is_leaf:
+                for e in node.entries:
+                    assert e.child.parent is node
+                    assert e.rect.contains_rect(e.child.mbr())
+                    check(e.child, False)
+
+        self_min = t.min_entries
+        check(t._root, True)
+
+    def test_nearest_after_deletes(self):
+        points = random_points(100, seed=3)
+        t = RTree(max_entries=4)
+        for i, p in enumerate(points):
+            t.insert_point(p, i)
+        removed = set(range(0, 100, 2))
+        for i in removed:
+            t.delete_point(points[i], i)
+        q = Point(50, 50)
+        alive = [i for i in range(100) if i not in removed]
+        expected = min(alive, key=lambda i: q.distance_to(points[i]))
+        assert t.nearest(q, k=1) == [expected]
+
+
+@given(
+    seed=st.integers(0, 300),
+    n=st.integers(5, 60),
+    delete_frac=st.floats(0.1, 0.9),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_delete_preserves_queries(seed, n, delete_frac):
+    points = random_points(n, seed=seed)
+    t = RTree(max_entries=4)
+    for i, p in enumerate(points):
+        t.insert_point(p, i)
+    rng = np.random.default_rng(seed + 1)
+    n_delete = int(n * delete_frac)
+    alive = set(range(n))
+    for i in rng.choice(n, size=n_delete, replace=False).tolist():
+        assert t.delete_point(points[i], i)
+        alive.discard(i)
+    rect = Rect(10, 10, 70, 70)
+    assert set(t.range_query(rect)) == brute_force(points, alive, rect)
+    assert len(t) == len(alive)

@@ -1,0 +1,142 @@
+"""Tests for the streaming MC²LS session.
+
+Core invariant: after ANY sequence of arrivals/departures/updates, the
+session's table and greedy selection equal those of a batch solve over
+the surviving population.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entities import MovingUser
+from repro.exceptions import SolverError
+from repro.solvers import BaselineGreedySolver, MC2LSProblem
+from repro.streaming import StreamingMC2LS
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def base():
+    return build_instance(seed=9, n_users=20, n_candidates=8, n_facilities=6)
+
+
+def batch_reference(session):
+    dataset = session.current_dataset()
+    problem = MC2LSProblem(dataset, k=session.k, tau=session.tau, pf=session.pf)
+    return BaselineGreedySolver().solve(problem)
+
+
+class TestSessionBasics:
+    def test_validation(self, base):
+        with pytest.raises(SolverError):
+            StreamingMC2LS(base.facilities, base.candidates, k=0)
+        with pytest.raises(SolverError):
+            StreamingMC2LS(base.facilities, base.candidates, k=99)
+
+    def test_from_dataset_matches_batch(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        assert len(session) == len(base.users)
+        reference = batch_reference(session)
+        outcome = session.current_selection()
+        assert outcome.selected == reference.selected
+        assert outcome.objective == pytest.approx(reference.objective)
+
+    def test_duplicate_add_rejected(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=2, tau=0.5)
+        with pytest.raises(SolverError):
+            session.add_user(base.users[0])
+
+    def test_remove_unknown_rejected(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=2, tau=0.5)
+        with pytest.raises(SolverError):
+            session.remove_user(9999)
+
+    def test_contains_and_len(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=2, tau=0.5)
+        uid = base.users[0].uid
+        assert uid in session
+        session.remove_user(uid)
+        assert uid not in session
+        assert len(session) == len(base.users) - 1
+
+    def test_empty_session_dataset_rejected(self, base):
+        session = StreamingMC2LS(base.facilities, base.candidates, k=2, tau=0.5)
+        with pytest.raises(SolverError):
+            session.current_dataset()
+
+
+class TestIncrementalEquivalence:
+    def test_after_departures(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        for uid in [u.uid for u in base.users[:7]]:
+            session.remove_user(uid)
+        reference = batch_reference(session)
+        outcome = session.current_selection()
+        assert outcome.selected == reference.selected
+        assert outcome.objective == pytest.approx(reference.objective)
+
+    def test_after_arrivals(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        rng = np.random.default_rng(0)
+        for uid in range(1000, 1010):
+            positions = rng.normal(rng.uniform(2, 23, 2), 1.0, size=(8, 2))
+            session.add_user(MovingUser(uid, np.clip(positions, 0, 25)))
+        reference = batch_reference(session)
+        assert session.current_selection().selected == reference.selected
+
+    def test_after_update(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        user = base.users[0]
+        moved = MovingUser(user.uid, user.positions + 3.0)
+        session.update_user(moved)
+        reference = batch_reference(session)
+        assert session.current_selection().selected == reference.selected
+
+    def test_remove_then_readd_is_identity(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        before = session.current_selection()
+        user = session.remove_user(base.users[3].uid)
+        session.add_user(user)
+        after = session.current_selection()
+        assert before.selected == after.selected
+        assert before.objective == pytest.approx(after.objective)
+
+    @given(events=st.lists(st.integers(0, 29), min_size=1, max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_random_event_stream(self, events):
+        """Arrivals/departures in any order keep the session consistent."""
+        base = build_instance(seed=11, n_users=12, n_candidates=6, n_facilities=4)
+        pool = {u.uid: u for u in base.users}
+        extra_rng = np.random.default_rng(42)
+        for uid in range(100, 118):
+            positions = extra_rng.normal(extra_rng.uniform(2, 23, 2), 1.2, (6, 2))
+            pool[uid] = MovingUser(uid, np.clip(positions, 0, 25))
+        uids = sorted(pool)
+
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        present = {u.uid for u in base.users}
+        for event in events:
+            uid = uids[event]
+            if uid in present:
+                if len(present) > 1:
+                    session.remove_user(uid)
+                    present.discard(uid)
+            else:
+                session.add_user(pool[uid])
+                present.add(uid)
+        reference = batch_reference(session)
+        outcome = session.current_selection()
+        assert outcome.selected == reference.selected
+        assert outcome.objective == pytest.approx(reference.objective)
+
+
+class TestEventAccounting:
+    def test_events_counted(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=2, tau=0.5)
+        n = session.events_processed
+        session.remove_user(base.users[0].uid)
+        assert session.events_processed == n + 1
+        session.update_user(base.users[1])
+        assert session.events_processed == n + 2

@@ -1,0 +1,89 @@
+"""Tests for the standalone SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.svg_charts import LineChart, _log_ticks, _nice_ticks
+from repro.exceptions import DataError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestTicks:
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0 + 1e-9
+        assert len(ticks) >= 2
+
+    def test_nice_ticks_degenerate(self):
+        assert _nice_ticks(5.0, 5.0)  # must not loop forever or be empty
+
+    def test_log_ticks_powers_of_ten(self):
+        ticks = _log_ticks(0.02, 30.0)
+        assert ticks == [0.1, 1.0, 10.0]
+
+
+class TestLineChart:
+    def make_chart(self, log_y=True):
+        chart = LineChart("runtime vs users", x_label="users",
+                          y_label="seconds", log_y=log_y)
+        chart.add_series("baseline", [(100, 1.0), (200, 2.2), (300, 3.1)])
+        chart.add_series("iqt", [(100, 0.1), (200, 0.15), (300, 0.2)])
+        return chart
+
+    def test_renders_valid_xml(self):
+        root = parse(self.make_chart().render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_contains_series_paths_and_legend(self):
+        root = parse(self.make_chart().render())
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 2
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "baseline" in texts and "iqt" in texts
+        assert "runtime vs users" in texts
+
+    def test_points_drawn(self):
+        root = parse(self.make_chart().render())
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 6
+
+    def test_log_and_linear_differ(self):
+        log_svg = self.make_chart(log_y=True).render()
+        lin_svg = self.make_chart(log_y=False).render()
+        assert log_svg != lin_svg
+
+    def test_validation(self):
+        chart = LineChart("empty")
+        with pytest.raises(DataError):
+            chart.render()
+        with pytest.raises(DataError):
+            chart.add_series("bad", [])
+        with pytest.raises(DataError):
+            LineChart("log", log_y=True).add_series("neg", [(1, -1.0)])
+
+    def test_from_rows(self):
+        rows = [
+            {"users": 100, "baseline_s": 1.0, "iqt_s": 0.1},
+            {"users": 200, "baseline_s": 2.0, "iqt_s": 0.2},
+        ]
+        chart = LineChart.from_rows(rows, "users", ["baseline_s", "iqt_s"],
+                                    title="Fig 10")
+        root = parse(chart.render())
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "baseline" in texts and "iqt" in texts  # _s suffix stripped
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self.make_chart().save(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_single_x_value(self):
+        chart = LineChart("point", log_y=False)
+        chart.add_series("s", [(5, 1.0), (5, 2.0)])
+        parse(chart.render())  # must not divide by zero

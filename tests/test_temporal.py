@@ -1,0 +1,200 @@
+"""Tests for the time-aware extension (windows, timed users, solver)."""
+
+import numpy as np
+import pytest
+
+from repro.entities import MovingUser, candidate, existing
+from repro.exceptions import DataError, SolverError
+from repro.influence import InfluenceEvaluator, paper_default_pf
+from repro.solvers import greedy_select
+from repro.temporal import (
+    ALL_DAY,
+    TimeAwareMC2LS,
+    TimedInfluenceEvaluator,
+    TimedUser,
+    TimeWindow,
+    attach_hours,
+)
+
+PF = paper_default_pf()
+
+
+class TestTimeWindow:
+    def test_plain_interval(self):
+        w = TimeWindow(9, 17)
+        assert w.duration == 8
+        assert not w.wraps
+        assert w.contains(9) and w.contains(16)
+        assert not w.contains(17) and not w.contains(8)
+
+    def test_wraparound(self):
+        w = TimeWindow(22, 6)
+        assert w.wraps
+        assert w.duration == 8
+        for hour in (22, 23, 0, 3, 5):
+            assert w.contains(hour)
+        for hour in (6, 12, 21):
+            assert not w.contains(hour)
+
+    def test_all_day(self):
+        assert ALL_DAY.duration == 24
+        assert all(ALL_DAY.contains(h) for h in range(24))
+
+    def test_mask_matches_contains(self):
+        w = TimeWindow(20, 4)
+        hours = np.arange(24)
+        mask = w.mask(hours)
+        for h in range(24):
+            assert mask[h] == w.contains(h)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            TimeWindow(-1, 5)
+        with pytest.raises(DataError):
+            TimeWindow(0, 0)
+        with pytest.raises(DataError):
+            TimeWindow(24, 5)
+
+    def test_str(self):
+        assert str(TimeWindow(9, 17)) == "09-17h"
+        assert str(TimeWindow(0, 24)) == "00-00h"
+
+
+class TestTimedUser:
+    def test_construction_and_filtering(self):
+        user = MovingUser(1, np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]))
+        timed = TimedUser(user, np.array([8, 13, 20]))
+        morning = timed.positions_in(TimeWindow(6, 10))
+        assert morning.shape == (1, 2)
+        assert (morning[0] == [0.0, 0.0]).all()
+        assert timed.positions_in(ALL_DAY).shape == (3, 2)
+        assert timed.positions_in(TimeWindow(1, 3)).shape == (0, 2)
+
+    def test_validation(self):
+        user = MovingUser(1, np.zeros((2, 2)))
+        with pytest.raises(DataError):
+            TimedUser(user, np.array([1]))  # wrong length
+        with pytest.raises(DataError):
+            TimedUser(user, np.array([1, 25]))  # out of range
+
+    def test_hours_read_only(self):
+        timed = TimedUser(MovingUser(1, np.zeros((2, 2))), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            timed.hours[0] = 5
+
+    def test_attach_hours(self):
+        rng = np.random.default_rng(0)
+        users = [MovingUser(uid, rng.uniform(0, 5, (8, 2))) for uid in range(10)]
+        timed = attach_hours(users, seed=1)
+        assert len(timed) == 10
+        assert all(t.hours.shape == (8,) for t in timed)
+        assert all(((t.hours >= 0) & (t.hours < 24)).all() for t in timed)
+
+
+class TestTimedInfluence:
+    def test_all_day_reduces_to_base_model(self):
+        rng = np.random.default_rng(2)
+        user = MovingUser(0, rng.uniform(0, 2, (10, 2)))
+        timed = TimedUser(user, rng.integers(0, 24, 10))
+        t_ev = TimedInfluenceEvaluator(PF, 0.6)
+        base = InfluenceEvaluator(PF, 0.6)
+        assert t_ev.influences(1.0, 1.0, timed, ALL_DAY) == base.influences(
+            1.0, 1.0, user.positions
+        )
+
+    def test_window_restriction_weakens_influence(self):
+        # All positions close, but only 2 fall in the window.
+        user = MovingUser(0, np.zeros((10, 2)))
+        timed = TimedUser(user, np.array([9] * 2 + [20] * 8))
+        ev = TimedInfluenceEvaluator(PF, 0.9)
+        assert not ev.influences(0.0, 0.0, timed, TimeWindow(8, 10))
+        assert ev.influences(0.0, 0.0, timed, ALL_DAY)
+
+    def test_no_positions_in_window(self):
+        timed = TimedUser(MovingUser(0, np.zeros((3, 2))), np.array([12, 12, 12]))
+        ev = TimedInfluenceEvaluator(PF, 0.1)
+        assert not ev.influences(0.0, 0.0, timed, TimeWindow(0, 6))
+
+
+def build_timed_instance(seed=0):
+    """Morning crowd near (2,2), evening crowd near (8,8)."""
+    rng = np.random.default_rng(seed)
+    timed = []
+    for uid in range(20):
+        center, hour = ((2.0, 2.0), 9) if uid % 2 == 0 else ((8.0, 8.0), 20)
+        positions = np.clip(rng.normal(center, 0.4, (6, 2)), 0, 10)
+        hours = np.full(6, hour) + rng.integers(-1, 2, 6)
+        timed.append(TimedUser(MovingUser(uid, positions), np.mod(hours, 24)))
+    candidates = [candidate(0, 2.0, 2.0), candidate(1, 8.0, 8.0),
+                  candidate(2, 5.0, 5.0)]
+    facilities = [existing(0, 2.5, 2.5)]
+    return timed, facilities, candidates
+
+
+class TestTimeAwareSolver:
+    def test_validation(self):
+        timed, facs, cands = build_timed_instance()
+        with pytest.raises(SolverError):
+            TimeAwareMC2LS(timed, facs, cands, windows=[], k=1)
+        with pytest.raises(SolverError):
+            TimeAwareMC2LS(timed, facs, cands, windows=[ALL_DAY], k=9)
+
+    def test_windows_match_demand_rhythm(self):
+        """The solver opens the morning site in the morning window and the
+        evening site in the evening window."""
+        timed, facs, cands = build_timed_instance()
+        solver = TimeAwareMC2LS(
+            timed, facs, cands,
+            windows=[TimeWindow(7, 12), TimeWindow(17, 23)],
+            k=2, tau=0.5,
+        )
+        result = solver.solve()
+        assert len(result.placements) == 2
+        by_cid = {p.cid: p.window for p in result.placements}
+        assert set(by_cid) == {0, 1}
+        assert by_cid[0] == TimeWindow(7, 12)   # morning site
+        assert by_cid[1] == TimeWindow(17, 23)  # evening site
+
+    def test_at_most_one_window_per_site(self):
+        timed, facs, cands = build_timed_instance()
+        solver = TimeAwareMC2LS(
+            timed, facs, cands,
+            windows=[TimeWindow(7, 12), TimeWindow(8, 13), ALL_DAY],
+            k=3, tau=0.5,
+        )
+        result = solver.solve()
+        cids = [p.cid for p in result.placements]
+        assert len(cids) == len(set(cids))
+
+    def test_gains_non_increasing(self):
+        timed, facs, cands = build_timed_instance(seed=3)
+        solver = TimeAwareMC2LS(
+            timed, facs, cands, windows=[TimeWindow(7, 12), TimeWindow(17, 23)],
+            k=3, tau=0.5,
+        )
+        result = solver.solve()
+        assert all(a >= b - 1e-12 for a, b in zip(result.gains, result.gains[1:]))
+
+    def test_all_day_menu_reduces_to_base_greedy(self):
+        """With the ALL_DAY-only menu the selection equals base MC²LS."""
+        timed, facs, cands = build_timed_instance(seed=4)
+        solver = TimeAwareMC2LS(
+            timed, facs, cands, windows=[ALL_DAY], k=2, tau=0.5
+        )
+        result = solver.solve()
+        table = solver.as_influence_table(ALL_DAY)
+        base = greedy_select(table, [c.fid for c in cands], 2)
+        assert tuple(p.cid for p in result.placements) == base.selected
+        assert result.objective == pytest.approx(base.objective)
+
+    def test_richer_menu_never_hurts(self):
+        timed, facs, cands = build_timed_instance(seed=5)
+        narrow = TimeAwareMC2LS(
+            timed, facs, cands, windows=[TimeWindow(7, 12)], k=2, tau=0.5
+        ).solve()
+        rich = TimeAwareMC2LS(
+            timed, facs, cands,
+            windows=[TimeWindow(7, 12), TimeWindow(17, 23), ALL_DAY],
+            k=2, tau=0.5,
+        ).solve()
+        assert rich.objective >= narrow.objective - 1e-9
