@@ -4,15 +4,33 @@ These give pytest-benchmark stable, repeatable timings for the building
 blocks (index construction, traversal, range query, influence check), so
 regressions in any substrate are visible independently of the end-to-end
 figures.
+
+Run directly (``python benchmarks/bench_micro_core_ops.py [--smoke]``)
+to time the scalar-vs-batch verification kernel on a >= 1k-user batch
+and write the ``BENCH_batch_verify.json`` trajectory point at the repo
+root; the test suite invokes ``--smoke`` so the comparison cannot rot.
 """
+
+import argparse
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.bench.datasets import DEFAULT_D_HAT, DEFAULT_TAU, dataset
+from repro.entities import MovingUser
 from repro.geo import Rect
-from repro.influence import InfluenceEvaluator, paper_default_pf
+from repro.influence import (
+    BatchInfluenceEvaluator,
+    InfluenceEvaluator,
+    PositionArena,
+    paper_default_pf,
+)
 from repro.spatial import IQuadTree, RTree
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture(scope="module")
@@ -78,3 +96,112 @@ def test_greedy_phase(benchmark, c_dataset):
         return greedy_select(result.table, cids, 10)
 
     benchmark(select)
+
+
+def test_influence_evaluation_batch(benchmark, c_dataset):
+    """The batched counterpart of test_influence_evaluation."""
+    ev = BatchInfluenceEvaluator(paper_default_pf(), DEFAULT_TAU)
+    arena = c_dataset.arena
+    rows = np.arange(min(200, len(arena)), dtype=np.int64)
+    v = c_dataset.candidates[0]
+
+    def evaluate():
+        return int(ev.influences_users(v.x, v.y, arena, rows).sum())
+
+    benchmark(evaluate)
+
+
+# ----------------------------------------------------------------------
+# Scalar-vs-batch verification kernel (the BENCH_batch_verify trajectory
+# point; `--smoke` is wired into the test suite).
+# ----------------------------------------------------------------------
+def _verification_population(n_users: int, seed: int = 0) -> list:
+    """A deterministic >= 1k-user population with a realistic r mix."""
+    rng = np.random.default_rng(seed)
+    users = []
+    for uid in range(n_users):
+        r = int(np.clip(rng.lognormal(mean=2.9, sigma=0.6), 2, 200))
+        center = rng.uniform(-10, 10, 2)
+        users.append(MovingUser(uid, rng.normal(center, 2.0, size=(r, 2))))
+    return users
+
+
+def run_batch_verify_benchmark(
+    n_users: int = 1200, repeats: int = 3, out_path: Path = None
+) -> dict:
+    """Time the scalar loop against the batch kernel on one big batch.
+
+    Returns (and writes to ``out_path``) the recorded trajectory point:
+    best-of-``repeats`` wall-clock for both paths, the speedup, and a
+    bit-identity check of the decisions and counters.
+    """
+    users = _verification_population(n_users)
+    arena = PositionArena.from_users(users)
+    pf = paper_default_pf()
+    vx, vy = 0.0, 0.0
+
+    def scalar_pass():
+        ev = InfluenceEvaluator(pf, DEFAULT_TAU)
+        return np.array([ev.influences(vx, vy, u.positions) for u in users]), ev.stats
+
+    def batch_pass():
+        ev = BatchInfluenceEvaluator(pf, DEFAULT_TAU)
+        return ev.influences_users(vx, vy, arena), ev.stats
+
+    def best_of(fn):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    scalar_s, (scalar_dec, scalar_stats) = best_of(scalar_pass)
+    batch_s, (batch_dec, batch_stats) = best_of(batch_pass)
+    payload = {
+        "benchmark": "batch_verify",
+        "n_users": n_users,
+        "n_positions": int(arena.n_positions),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+        "decisions_equal": bool(np.array_equal(scalar_dec, batch_dec)),
+        "stats_equal": scalar_stats.__dict__ == batch_stats.__dict__,
+        "influenced": int(batch_dec.sum()),
+    }
+    if out_path is not None:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scalar-vs-batch verification microbenchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single quick repeat (still >= 1k users); used by the test suite",
+    )
+    parser.add_argument("--users", type=int, default=1200)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_batch_verify.json",
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    repeats = 2 if args.smoke else args.repeats
+    payload = run_batch_verify_benchmark(
+        n_users=args.users, repeats=repeats, out_path=args.out
+    )
+    print(json.dumps(payload, indent=2))
+    if not (payload["decisions_equal"] and payload["stats_equal"]):
+        print("ERROR: batch kernel disagrees with the scalar evaluator")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..exceptions import DataError
 from ..geo import Rect
+from ..influence.batch import PositionArena
 from .facility import AbstractFacility, FacilityKind
 from .user import MovingUser
 
@@ -80,6 +81,21 @@ class SpatialDataset:
     def abstract_facilities(self) -> tuple[AbstractFacility, ...]:
         """All abstract facilities ``C ∪ F`` (candidates first)."""
         return self.candidates + self.facilities
+
+    @property
+    def arena(self) -> PositionArena:
+        """CSR packing of all users' positions, built lazily and cached.
+
+        The batched verification kernel
+        (:class:`repro.influence.BatchInfluenceEvaluator`) reads user
+        segments out of this arena; derived datasets (``with_*`` /
+        ``subsample_*``) build their own.
+        """
+        cached = getattr(self, "_arena", None)
+        if cached is None:
+            cached = PositionArena.from_users(self.users)
+            object.__setattr__(self, "_arena", cached)
+        return cached
 
     def describe(self) -> str:
         """One-line summary used by benchmark reports."""

@@ -5,7 +5,13 @@ evaluator with the PINOCCHIO early-stopping strategy, and the radius /
 position-count threshold math that powers every pruning rule.
 """
 
-from .model import EvaluationStats, InfluenceEvaluator, cumulative_probability
+from .batch import BatchInfluenceEvaluator, PositionArena
+from .model import (
+    EvaluationStats,
+    InfluenceEvaluator,
+    cumulative_probability,
+    survival_powers,
+)
 from .probability import (
     ExponentialPF,
     LinearPF,
@@ -22,10 +28,12 @@ from .radius import (
 )
 
 __all__ = [
+    "BatchInfluenceEvaluator",
     "EvaluationStats",
     "ExponentialPF",
     "InfluenceEvaluator",
     "LinearPF",
+    "PositionArena",
     "PowerLawPF",
     "ProbabilityFunction",
     "SigmoidPF",
@@ -35,4 +43,5 @@ __all__ = [
     "paper_default_pf",
     "position_count_threshold",
     "position_count_threshold_int",
+    "survival_powers",
 ]

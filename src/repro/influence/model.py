@@ -28,6 +28,16 @@ from ..exceptions import ProbabilityError
 from .probability import ProbabilityFunction
 
 
+def survival_powers(min_survival: float, n: int) -> np.ndarray:
+    """Table of ``min_survival ** e`` for ``e = 0 .. n − 1``.
+
+    Both the scalar early-stopping path and the batched kernel read the
+    negative-certificate bound off this table (never a scalar ``**``),
+    so the two produce bit-identical comparisons against ``1 − τ``.
+    """
+    return np.power(min_survival, np.arange(n, dtype=np.float64))
+
+
 def cumulative_probability(
     vx: float, vy: float, positions: np.ndarray, pf: ProbabilityFunction
 ) -> float:
@@ -102,6 +112,15 @@ class InfluenceEvaluator:
         # probability is PF(0), so each remaining position can shrink the
         # survival product by at most (1 - PF(0)).
         self._min_survival = 1.0 - self.pf.max_probability
+        self._pow_table = survival_powers(self._min_survival, 1)
+
+    def _powers(self, n: int) -> np.ndarray:
+        """Cached ``min_survival ** [0..n)`` table (grown geometrically)."""
+        if self._pow_table.shape[0] < n:
+            self._pow_table = survival_powers(
+                self._min_survival, max(n, 2 * self._pow_table.shape[0])
+            )
+        return self._pow_table
 
     # ------------------------------------------------------------------
     # Exact path
@@ -135,58 +154,77 @@ class InfluenceEvaluator:
     def influences_early_stop(self, vx: float, vy: float, positions: np.ndarray) -> bool:
         """Early-stopped influence decision.
 
-        Maintains the survival product ``q = Π (1 − PF(d_i))`` over blocks
-        of positions and stops when
+        Maintains the survival product ``q = Π (1 − PF(d_i))`` over the
+        positions and stops at the first index certifying either way:
 
         * ``q <= 1 − τ`` — influence is already certain (the product can
           only shrink further), or
         * ``q · (1 − PF(0))^{remaining} > 1 − τ`` — influence is impossible
           even if every remaining position sat on top of the facility.
 
-        Positions are consumed in small vectorised blocks: the decision
-        usually falls out after the first block, and block evaluation keeps
-        the per-position cost at numpy speed instead of scalar-loop speed.
+        At the last position exactly one of the two certificates fires, so
+        the decision and the touched-position count are both defined by the
+        first hit.  Both the short-history fast path and the blocked path
+        for long histories apply *both* certificates at per-position
+        granularity, so the Figs. 15–16 cost counters mean the same thing
+        on either side of the ``r = 128`` cutoff; the blocked path chains
+        the running product through ``cumprod`` (never a scalar
+        re-multiplication) so every intermediate ``q`` is bit-identical to
+        a single full cumulative product — the contract the batched kernel
+        (:mod:`repro.influence.batch`) relies on.
         """
         self.stats.early_stop_evaluations += 1
         r = positions.shape[0]
         target = 1.0 - self.tau
         if r <= 128:
-            # One vectorised pass; the running survival product is read off
-            # the cumulative product, and the stop point gives the honest
-            # r' <= r cost accounting the paper's Figs. 15-16 report.  The
-            # common negative case needs only the final product.
+            # One vectorised pass; the stop point is read off the cumulative
+            # product and gives the honest r' <= r cost accounting the
+            # paper's Figs. 15-16 report.
             dx = positions[:, 0] - vx
             dy = positions[:, 1] - vy
-            survival = np.cumprod(1.0 - self.pf(np.sqrt(dx * dx + dy * dy)))
-            if survival[-1] > target:
-                self.stats.positions_touched += r
-                return False
-            touched = int(np.argmax(survival <= target)) + 1
+            chain = np.cumprod(1.0 - self.pf(np.sqrt(dx * dx + dy * dy)))
+            pos_hit = chain <= target
+            neg_hit = chain * self._powers(r)[r - 1 :: -1] > target
+            first = int(np.argmax(pos_hit | neg_hit))
+            touched = first + 1
             self.stats.positions_touched += touched
+            decided = bool(pos_hit[first])
             if touched < r:
-                self.stats.early_stops_positive += 1
-            return True
+                if decided:
+                    self.stats.early_stops_positive += 1
+                else:
+                    self.stats.early_stops_negative += 1
+            return decided
         # Very long histories: consume in blocks so a decision early in the
         # sequence skips the bulk of the distance computations.
         q = 1.0
         block = 64
+        powers = self._powers(r)
         for start in range(0, r, block):
             chunk = positions[start : start + block]
+            b = chunk.shape[0]
             dx = chunk[:, 0] - vx
             dy = chunk[:, 1] - vy
-            survival = q * np.cumprod(1.0 - self.pf(np.sqrt(dx * dx + dy * dy)))
-            hit = survival <= target
+            chain = np.cumprod(
+                np.concatenate(((q,), 1.0 - self.pf(np.sqrt(dx * dx + dy * dy))))
+            )[1:]
+            rem = np.arange(r - 1 - start, r - 1 - start - b, -1)
+            pos_hit = chain <= target
+            neg_hit = chain * powers[rem] > target
+            hit = pos_hit | neg_hit
             if hit.any():
-                self.stats.positions_touched += int(np.argmax(hit)) + 1
-                self.stats.early_stops_positive += 1
-                return True
-            q = float(survival[-1])
-            self.stats.positions_touched += chunk.shape[0]
-            remaining = r - start - chunk.shape[0]
-            if remaining and q * self._min_survival**remaining > target:
-                self.stats.early_stops_negative += 1
-                return False
-        return q <= target
+                first = int(np.argmax(hit))
+                self.stats.positions_touched += first + 1
+                decided = bool(pos_hit[first])
+                if start + first + 1 < r:
+                    if decided:
+                        self.stats.early_stops_positive += 1
+                    else:
+                        self.stats.early_stops_negative += 1
+                return decided
+            q = float(chain[-1])
+            self.stats.positions_touched += b
+        return q <= target  # unreachable: the last position always certifies
 
     # ------------------------------------------------------------------
     # Derived helpers
@@ -194,6 +232,16 @@ class InfluenceEvaluator:
     def decision_with_probability(
         self, vx: float, vy: float, positions: np.ndarray
     ) -> Tuple[bool, float]:
-        """Return ``(influences, Pr_v(o))`` using the exact path."""
-        p = self.probability(vx, vy, positions)
-        return p >= self.tau, p
+        """Return ``(influences, Pr_v(o))`` using the exact path.
+
+        The decision is made on the survival product ``q <= 1 − τ`` — the
+        identical boundary call :meth:`influences` makes — never on the
+        complement ``1 − q >= τ``, which can disagree by one ulp when
+        ``1 − q`` rounds onto the threshold.
+        """
+        self.stats.full_evaluations += 1
+        self.stats.positions_touched += positions.shape[0]
+        dx = positions[:, 0] - vx
+        dy = positions[:, 1] - vy
+        q = float(np.prod(1.0 - self.pf(np.sqrt(dx * dx + dy * dy))))
+        return q <= 1.0 - self.tau, 1.0 - q

@@ -78,19 +78,31 @@ class FMSketch:
             self.add(item)
 
     # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """Whether no id has ever been inserted (all registers at −1)."""
+        return all(r < 0 for r in self._registers)
+
     def estimate(self) -> float:
         """Estimated number of distinct inserted ids."""
         # Registers store the max rank seen (LogLog scheme): O(1) updates
         # and union-by-max, estimated with the Durand-Flajolet constant.
+        # Untouched registers hold the -1 sentinel; they contribute
+        # rank + 1 = 0 to the mean (never 2^-1), and an all-empty sketch
+        # short-circuits to 0 before any mean is formed.
         empty = sum(1 for r in self._registers if r < 0)
         if empty == self.n_registers:
             return 0.0
-        total = sum(r + 1 for r in self._registers)
+        total = sum(r + 1 for r in self._registers if r >= 0)
         mean = total / self.n_registers
         raw = self.n_registers * (2.0**mean) * _ALPHA
         # Small-range correction (linear counting on empty registers): the
         # raw LogLog estimator biases high while registers are untouched.
-        if empty > 0 and raw < 2.5 * self.n_registers:
+        # A mostly-empty sketch always takes it — with only a handful of
+        # occupied registers one unluckily high rank can push `raw` past
+        # the 2.5·m gate and report thousands of items for a near-empty
+        # set, while the occupancy count stays a faithful estimator.
+        if empty > 0 and (raw < 2.5 * self.n_registers or 2 * empty > self.n_registers):
             return self.n_registers * math.log(self.n_registers / empty)
         return raw
 

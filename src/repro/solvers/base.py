@@ -14,12 +14,18 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..competition import InfluenceTable
 from ..entities import SpatialDataset
 from ..exceptions import SolverError
-from ..influence import EvaluationStats, ProbabilityFunction, paper_default_pf
+from ..influence import (
+    BatchInfluenceEvaluator,
+    EvaluationStats,
+    InfluenceEvaluator,
+    ProbabilityFunction,
+    paper_default_pf,
+)
 from ..pruning import PruningStats
 
 
@@ -87,6 +93,52 @@ class Solver(ABC):
     @abstractmethod
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         """Solve the instance and return the selection with its metrics."""
+
+
+def resolve_all_pairs(
+    dataset: SpatialDataset,
+    evaluator: InfluenceEvaluator,
+    batch_verify: bool = True,
+) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+    """Brute-force resolution of every ``(facility, user)`` relationship.
+
+    Shared by the baseline and exact solvers.  With ``batch_verify`` the
+    probability evaluations run through the batched kernel (one vectorised
+    pass per abstract facility over the dataset's position arena) instead
+    of one scalar call per pair; decisions and ``evaluator.stats``
+    accounting are bit-identical either way.
+
+    Returns:
+        ``(omega_c, f_o)`` — candidate coverage sets and per-user
+        competitor sets, keyed by id.
+    """
+    omega_c: Dict[int, Set[int]] = {c.fid: set() for c in dataset.candidates}
+    f_o: Dict[int, Set[int]] = {u.uid: set() for u in dataset.users}
+    if batch_verify:
+        arena = dataset.arena
+        batch = BatchInfluenceEvaluator(
+            evaluator.pf,
+            evaluator.tau,
+            early_stopping=evaluator.early_stopping,
+            stats=evaluator.stats,
+        )
+        for c in dataset.candidates:
+            hit = batch.influences_users(c.x, c.y, arena)
+            omega_c[c.fid] = set(arena.uids[hit].tolist())
+        for f in dataset.facilities:
+            hit = batch.influences_users(f.x, f.y, arena)
+            for uid in arena.uids[hit].tolist():
+                f_o[uid].add(f.fid)
+        return omega_c, f_o
+    for user in dataset.users:
+        pos = user.positions
+        for c in dataset.candidates:
+            if evaluator.influences(c.x, c.y, pos):
+                omega_c[c.fid].add(user.uid)
+        for f in dataset.facilities:
+            if evaluator.influences(f.x, f.y, pos):
+                f_o[user.uid].add(f.fid)
+    return omega_c, f_o
 
 
 class PhaseTimer:

@@ -9,18 +9,26 @@ against: its cost is ``O((n + m)·u·r + 2kn)``.
 
 from __future__ import annotations
 
-from typing import Dict, Set
-
 from ..competition import InfluenceTable
 from ..influence import InfluenceEvaluator
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult, resolve_all_pairs
 from .selection import greedy_select
 
 
 class BaselineGreedySolver(Solver):
-    """Exhaustive relationship resolution + greedy selection."""
+    """Exhaustive relationship resolution + greedy selection.
+
+    Args:
+        batch_verify: Evaluate each facility against the whole population
+            through the batched kernel (default); ``False`` restores the
+            pair-at-a-time scalar loop for ablations.  Decisions and
+            counters are identical either way.
+    """
 
     name = "baseline"
+
+    def __init__(self, batch_verify: bool = True):
+        self.batch_verify = batch_verify
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         timer = PhaseTimer()
@@ -29,18 +37,10 @@ class BaselineGreedySolver(Solver):
         # no-optimisation yardstick of the paper's complexity analysis.
         evaluator = InfluenceEvaluator(problem.pf, problem.tau, early_stopping=False)
 
-        omega_c: Dict[int, Set[int]] = {c.fid: set() for c in dataset.candidates}
-        f_o: Dict[int, Set[int]] = {u.uid: set() for u in dataset.users}
-
         with timer.mark("influence"):
-            for user in dataset.users:
-                pos = user.positions
-                for c in dataset.candidates:
-                    if evaluator.influences(c.x, c.y, pos):
-                        omega_c[c.fid].add(user.uid)
-                for f in dataset.facilities:
-                    if evaluator.influences(f.x, f.y, pos):
-                        f_o[user.uid].add(f.fid)
+            omega_c, f_o = resolve_all_pairs(
+                dataset, evaluator, batch_verify=self.batch_verify
+            )
 
         table = InfluenceTable(omega_c, f_o)
         with timer.mark("greedy"):

@@ -11,12 +11,11 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import comb
-from typing import Dict, Set
 
 from ..competition import InfluenceTable, cinf_group
 from ..exceptions import SolverError
 from ..influence import InfluenceEvaluator
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult, resolve_all_pairs
 
 
 class ExactSolver(Solver):
@@ -25,12 +24,15 @@ class ExactSolver(Solver):
     Args:
         max_combinations: Safety cap on ``C(n, k)``; exceeding it raises
             :class:`SolverError` instead of running forever.
+        batch_verify: Resolve the influence table through the batched
+            kernel (default) or the pair-at-a-time scalar loop.
     """
 
     name = "exact"
 
-    def __init__(self, max_combinations: int = 2_000_000):
+    def __init__(self, max_combinations: int = 2_000_000, batch_verify: bool = True):
         self.max_combinations = max_combinations
+        self.batch_verify = batch_verify
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         dataset = problem.dataset
@@ -45,16 +47,10 @@ class ExactSolver(Solver):
         timer = PhaseTimer()
         evaluator = InfluenceEvaluator(problem.pf, problem.tau, early_stopping=False)
 
-        omega_c: Dict[int, Set[int]] = {c.fid: set() for c in dataset.candidates}
-        f_o: Dict[int, Set[int]] = {u.uid: set() for u in dataset.users}
         with timer.mark("influence"):
-            for user in dataset.users:
-                for c in dataset.candidates:
-                    if evaluator.influences(c.x, c.y, user.positions):
-                        omega_c[c.fid].add(user.uid)
-                for f in dataset.facilities:
-                    if evaluator.influences(f.x, f.y, user.positions):
-                        f_o[user.uid].add(f.fid)
+            omega_c, f_o = resolve_all_pairs(
+                dataset, evaluator, batch_verify=self.batch_verify
+            )
         table = InfluenceTable(omega_c, f_o)
 
         best_group: tuple[int, ...] = ()

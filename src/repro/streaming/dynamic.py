@@ -21,12 +21,19 @@ checks, including under property-based random event streams.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..competition import InfluenceTable
 from ..entities import AbstractFacility, MovingUser, SpatialDataset
 from ..exceptions import SolverError
-from ..influence import InfluenceEvaluator, ProbabilityFunction, paper_default_pf
+from ..influence import (
+    BatchInfluenceEvaluator,
+    InfluenceEvaluator,
+    ProbabilityFunction,
+    paper_default_pf,
+)
 from ..pruning import PinocchioPruner
 from ..solvers import GreedyOutcome, greedy_select
 
@@ -42,6 +49,9 @@ class StreamingMC2LS:
         pf: Distance-decay probability function (paper default when
             ``None``).
         early_stopping: Verification strategy for interstitial pairs.
+        batch_verify: Re-verify each arriving user against all its
+            interstitial facilities in one batched kernel call (default);
+            ``False`` keeps the facility-at-a-time scalar loop.
     """
 
     def __init__(
@@ -52,6 +62,7 @@ class StreamingMC2LS:
         tau: float = 0.7,
         pf: Optional[ProbabilityFunction] = None,
         early_stopping: bool = True,
+        batch_verify: bool = True,
     ):
         if k < 1 or k > len(candidates):
             raise SolverError(f"k={k} infeasible for {len(candidates)} candidates")
@@ -60,8 +71,12 @@ class StreamingMC2LS:
         self.pf = pf or paper_default_pf()
         self.facilities = tuple(facilities)
         self.candidates = tuple(candidates)
+        self.batch_verify = batch_verify
         self._evaluator = InfluenceEvaluator(
             self.pf, tau, early_stopping=early_stopping
+        )
+        self._batch = BatchInfluenceEvaluator(
+            self.pf, tau, early_stopping=early_stopping, stats=self._evaluator.stats
         )
         self._pruner_c = PinocchioPruner(self.candidates, tau, self.pf)
         self._pruner_f = PinocchioPruner(self.facilities, tau, self.pf)
@@ -88,31 +103,37 @@ class StreamingMC2LS:
     # ------------------------------------------------------------------
     # Events
     # ------------------------------------------------------------------
+    def _verify_interstitial(
+        self, facilities: Sequence[AbstractFacility], user: MovingUser
+    ) -> Set[int]:
+        """Ids of ``facilities`` that influence ``user`` (batch or scalar)."""
+        if self.batch_verify and facilities:
+            xy = np.array([[v.x, v.y] for v in facilities], dtype=np.float64)
+            hit = self._batch.influences_facilities(xy, user.positions)
+            return {v.fid for v, h in zip(facilities, hit) if h}
+        return {
+            v.fid
+            for v in facilities
+            if self._evaluator.influences(v.x, v.y, user.positions)
+        }
+
     def add_user(self, user: MovingUser) -> None:
         """Process an arrival; the user is classified against all facilities."""
         if user.uid in self._users:
             raise SolverError(f"user {user.uid} already present")
         self._users[user.uid] = user
-        covering: Set[int] = set()
         decision = self._pruner_c.classify_user(user)
-        for c in decision.confirmed:
-            covering.add(c.fid)
-        for c in decision.verify:
-            if self._evaluator.influences(c.x, c.y, user.positions):
-                covering.add(c.fid)
+        covering = {c.fid for c in decision.confirmed}
+        covering |= self._verify_interstitial(list(decision.verify), user)
         for cid in covering:
             self._omega_c[cid].add(user.uid)
         self._covering[user.uid] = covering
         # Competitor relationships are only material for covered users, but
         # coverage can appear later if candidates change — resolving now
         # keeps events O(1) in session length and the table exact.
-        competitors: Set[int] = set()
         decision = self._pruner_f.classify_user(user)
-        for f in decision.confirmed:
-            competitors.add(f.fid)
-        for f in decision.verify:
-            if self._evaluator.influences(f.x, f.y, user.positions):
-                competitors.add(f.fid)
+        competitors = {f.fid for f in decision.confirmed}
+        competitors |= self._verify_interstitial(list(decision.verify), user)
         self._f_o[user.uid] = competitors
         self.events_processed += 1
 

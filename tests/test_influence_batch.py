@@ -1,0 +1,240 @@
+"""Differential tests: the batched kernel vs. the scalar evaluator.
+
+The contract under test (see ``repro/influence/batch.py``): for every
+``PF`` variant, every ``τ``, and every user geometry — single positions,
+positions at exactly distance 0, histories longer than the scalar
+fast-path cutoff — the batch kernel's decisions and probabilities are
+*bit-identical* to the scalar evaluator's, and its
+:class:`EvaluationStats` counters equal the scalar path's pair-by-pair
+accounting exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.entities import MovingUser
+from repro.exceptions import ProbabilityError
+from repro.influence import (
+    BatchInfluenceEvaluator,
+    ExponentialPF,
+    InfluenceEvaluator,
+    LinearPF,
+    PositionArena,
+    PowerLawPF,
+    paper_default_pf,
+)
+
+PF_VARIANTS = [
+    paper_default_pf(),
+    ExponentialPF(p0=0.9, scale=1.0),
+    ExponentialPF(p0=1.0, scale=2.0),  # max_probability = 1: survival floor 0
+    LinearPF(p0=0.9, cutoff=5.0),  # survival exactly 1 beyond the cutoff
+    PowerLawPF(p0=0.9, scale=1.0, alpha=2.0),
+]
+TAUS = (0.3, 0.7, 0.95)
+
+
+def _population(seed: int, n_users: int = 120) -> list:
+    """Users covering the interesting geometry: r = 1, d = 0, r > 128."""
+    rng = np.random.default_rng(seed)
+    users = []
+    for uid in range(n_users):
+        if uid % 10 == 0:
+            r = 1  # single-position users
+        elif uid % 17 == 0:
+            r = int(rng.integers(129, 260))  # scalar blocked path
+        else:
+            r = int(rng.integers(2, 40))
+        pos = rng.normal(rng.uniform(-6, 6, 2), 2.5, size=(r, 2))
+        if uid % 5 == 0:
+            pos[rng.integers(r)] = [0.25, -0.75]  # exactly on the facility
+        users.append(MovingUser(uid, pos))
+    return users
+
+
+FACILITY = (0.25, -0.75)
+
+
+class TestDifferentialAgainstScalar:
+    @pytest.mark.parametrize("pf", PF_VARIANTS, ids=repr)
+    @pytest.mark.parametrize("tau", TAUS)
+    @pytest.mark.parametrize("early_stopping", [True, False])
+    def test_decisions_and_stats(self, pf, tau, early_stopping):
+        users = _population(seed=1)
+        arena = PositionArena.from_users(users)
+        scalar = InfluenceEvaluator(pf, tau, early_stopping=early_stopping)
+        expected = np.array(
+            [scalar.influences(*FACILITY, u.positions) for u in users]
+        )
+        batch = BatchInfluenceEvaluator(pf, tau, early_stopping=early_stopping)
+        got = batch.influences_users(*FACILITY, arena)
+        assert np.array_equal(expected, got)
+        assert batch.stats.total_evaluations == scalar.stats.total_evaluations
+        # The full counter set, not just the total: the batch kernel must
+        # account per-segment stop points identically to the scalar scan.
+        assert batch.stats.__dict__ == scalar.stats.__dict__
+
+    @pytest.mark.parametrize("pf", PF_VARIANTS, ids=repr)
+    def test_probabilities_bitwise(self, pf):
+        users = _population(seed=2)
+        arena = PositionArena.from_users(users)
+        scalar = InfluenceEvaluator(pf, 0.7)
+        expected = np.array(
+            [scalar.probability(*FACILITY, u.positions) for u in users]
+        )
+        batch = BatchInfluenceEvaluator(pf, 0.7)
+        got = batch.probabilities_users(*FACILITY, arena)
+        assert np.array_equal(expected, got)  # bitwise, not approx
+        assert batch.stats.__dict__ == scalar.stats.__dict__
+
+    @pytest.mark.parametrize("pf", PF_VARIANTS, ids=repr)
+    @pytest.mark.parametrize("early_stopping", [True, False])
+    def test_facility_batch_kernel(self, pf, early_stopping):
+        """One user vs. many facilities: the streaming re-verification shape."""
+        rng = np.random.default_rng(3)
+        xy = rng.uniform(-6, 6, (80, 2))
+        for user in (_population(seed=3, n_users=8))[:8]:
+            scalar = InfluenceEvaluator(pf, 0.6, early_stopping=early_stopping)
+            expected = np.array(
+                [scalar.influences(x, y, user.positions) for x, y in xy]
+            )
+            batch = BatchInfluenceEvaluator(pf, 0.6, early_stopping=early_stopping)
+            got = batch.influences_facilities(xy, user.positions)
+            assert np.array_equal(expected, got)
+            assert batch.stats.__dict__ == scalar.stats.__dict__
+
+    def test_row_subsets_arbitrary_order(self):
+        users = _population(seed=4)
+        arena = PositionArena.from_users(users)
+        pf = paper_default_pf()
+        uids = [13, 2, 77, 2 + 17 * 5, 0, 119]
+        rows = arena.rows_for(uids)
+        batch = BatchInfluenceEvaluator(pf, 0.7)
+        got = batch.influences_users(*FACILITY, arena, rows)
+        scalar = InfluenceEvaluator(pf, 0.7)
+        expected = [scalar.influences(*FACILITY, users[u].positions) for u in uids]
+        assert got.tolist() == expected
+
+    def test_empty_row_set(self):
+        arena = PositionArena.from_users(_population(seed=5, n_users=4))
+        batch = BatchInfluenceEvaluator(paper_default_pf(), 0.7)
+        out = batch.influences_users(0.0, 0.0, arena, np.zeros(0, dtype=np.int64))
+        assert out.shape == (0,)
+        assert batch.stats.total_evaluations == 0
+
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 40), st.just(2)),
+            elements=st.floats(min_value=-30, max_value=30, allow_nan=False),
+        ),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-5, max_value=5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_single_user_agrees(self, pos, tau, vx, vy):
+        """Hypothesis sweep: arbitrary geometry, threshold and facility."""
+        user = MovingUser(0, pos)
+        arena = PositionArena.from_users([user])
+        for early_stopping in (True, False):
+            scalar = InfluenceEvaluator(
+                paper_default_pf(), tau, early_stopping=early_stopping
+            )
+            batch = BatchInfluenceEvaluator(
+                paper_default_pf(), tau, early_stopping=early_stopping
+            )
+            expected = scalar.influences(vx, vy, user.positions)
+            got = batch.influences_users(vx, vy, arena)
+            assert got.tolist() == [expected]
+            assert batch.stats.__dict__ == scalar.stats.__dict__
+
+
+class TestArena:
+    def test_layout(self):
+        users = [
+            MovingUser(7, np.array([[0.0, 1.0], [2.0, 3.0]])),
+            MovingUser(3, np.array([[4.0, 5.0]])),
+        ]
+        arena = PositionArena.from_users(users)
+        assert len(arena) == 2
+        assert arena.n_positions == 3
+        assert arena.offsets.tolist() == [0, 2, 3]
+        assert arena.uids.tolist() == [7, 3]
+        assert arena.row_of(3) == 1
+        assert arena.lengths().tolist() == [2, 1]
+        flat, lens = arena.gather(np.array([1, 0]))
+        assert flat.tolist() == [[4.0, 5.0], [0.0, 1.0], [2.0, 3.0]]
+        assert lens.tolist() == [1, 2]
+
+    def test_gather_all_is_zero_copy(self):
+        arena = PositionArena.from_users(_population(seed=6, n_users=5))
+        flat, _ = arena.gather(None)
+        assert flat is arena.positions
+
+    def test_dataset_arena_cached(self):
+        from tests.conftest import build_instance
+
+        ds = build_instance(seed=0, n_users=10)
+        assert ds.arena is ds.arena
+        assert len(ds.arena) == 10
+        assert ds.arena.n_positions == ds.n_positions
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            PositionArena.from_users([])
+        with pytest.raises(ProbabilityError):
+            BatchInfluenceEvaluator(paper_default_pf(), 0.0)
+
+
+class TestSolverLevelIdentity:
+    """batch_verify=True and =False give identical results and counters."""
+
+    def _problem(self):
+        from repro.solvers import MC2LSProblem
+        from tests.conftest import build_instance
+
+        return MC2LSProblem(build_instance(seed=9, n_users=40, r=8), k=3, tau=0.6)
+
+    def test_iqt(self):
+        from repro.solvers import IQTSolver
+
+        problem = self._problem()
+        a = IQTSolver(batch_verify=True).solve(problem)
+        b = IQTSolver(batch_verify=False).solve(problem)
+        assert a.selected == b.selected
+        assert a.objective == b.objective
+        assert a.table.omega_c == b.table.omega_c
+        assert a.table.f_o == b.table.f_o
+        assert a.evaluation.__dict__ == b.evaluation.__dict__
+
+    def test_baseline_and_exact(self):
+        from repro.solvers import BaselineGreedySolver, ExactSolver
+
+        problem = self._problem()
+        a = BaselineGreedySolver(batch_verify=True).solve(problem)
+        b = BaselineGreedySolver(batch_verify=False).solve(problem)
+        assert a.selected == b.selected
+        assert a.table.omega_c == b.table.omega_c
+        assert a.evaluation.__dict__ == b.evaluation.__dict__
+        c = ExactSolver(batch_verify=True).solve(problem)
+        d = ExactSolver(batch_verify=False).solve(problem)
+        assert c.selected == d.selected
+        assert c.evaluation.__dict__ == d.evaluation.__dict__
+
+    def test_streaming(self):
+        from repro.streaming import StreamingMC2LS
+        from tests.conftest import build_instance
+
+        ds = build_instance(seed=10, n_users=30, r=6)
+        fast = StreamingMC2LS(ds.facilities, ds.candidates, k=3, batch_verify=True)
+        slow = StreamingMC2LS(ds.facilities, ds.candidates, k=3, batch_verify=False)
+        for u in ds.users:
+            fast.add_user(u)
+            slow.add_user(u)
+        assert fast.table().omega_c == slow.table().omega_c
+        assert fast.table().f_o == slow.table().f_o
+        assert fast._evaluator.stats.__dict__ == slow._evaluator.stats.__dict__

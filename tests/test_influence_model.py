@@ -125,11 +125,95 @@ class TestInfluenceEvaluator:
         far = np.full((300, 2), 500.0)
         assert not ev.influences(0.0, 0.0, far)
 
+    def test_fast_path_counts_negative_early_stops(self):
+        """Regression: the r <= 128 path applies the survival-floor bound.
+
+        An unreachable user certifies a negative decision long before the
+        full scan — ``early_stops_negative`` must increment and
+        ``positions_touched`` must reflect the stop point, exactly as the
+        blocked path accounts for long histories.
+        """
+        pos = np.full((50, 2), 200.0)  # every survival factor is 1.0
+        ev = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        assert not ev.influences(0.0, 0.0, pos)
+        assert ev.stats.early_stops_negative == 1
+        assert ev.stats.positions_touched < 50
+
+    def test_negative_accounting_agrees_across_paths(self):
+        """Figs. 15–16 counters mean the same thing on both sides of r = 128.
+
+        The same unreachable prefix decides at the same position whether
+        the history is short (fast path) or long (blocked path), so both
+        report identical touched counts and negative early stops.
+        """
+        fast = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        blocked = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        short = np.full((100, 2), 200.0)
+        long = np.full((200, 2), 200.0)
+        assert not fast.influences(0.0, 0.0, short)
+        assert not blocked.influences(0.0, 0.0, long)
+        assert fast.stats.early_stops_negative == 1
+        assert blocked.stats.early_stops_negative == 1
+        # The survival floor here is 0.5 and the target 0.3, so the bound
+        # certifies as soon as one position remains: both paths stop at
+        # r − 1, the identical distance from the end of the history.
+        assert fast.stats.positions_touched == 99
+        assert blocked.stats.positions_touched == 199
+
+    def test_positive_accounting_agrees_across_paths(self):
+        """A user glued to the facility stops at the same prefix in both paths."""
+        fast = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        blocked = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        assert fast.influences(0.0, 0.0, np.zeros((100, 2)))
+        assert blocked.influences(0.0, 0.0, np.zeros((200, 2)))
+        assert fast.stats.early_stops_positive == 1
+        assert blocked.stats.early_stops_positive == 1
+        assert fast.stats.positions_touched == blocked.stats.positions_touched
+
+    def test_no_early_stop_counter_on_full_scan_decision(self):
+        """A decision that needs the full history is not an early stop."""
+        # Single far-but-not-unreachable position: neither certificate can
+        # fire before the last (only) position.
+        pos = np.array([[5.0, 0.0]])
+        ev = InfluenceEvaluator(PF, tau=0.7, early_stopping=True)
+        assert not ev.influences(0.0, 0.0, pos)
+        assert ev.stats.early_stops_positive == 0
+        assert ev.stats.early_stops_negative == 0
+        assert ev.stats.positions_touched == 1
+
     def test_decision_with_probability(self):
         ev = InfluenceEvaluator(PF, tau=0.5)
         decided, p = ev.decision_with_probability(0, 0, np.zeros((2, 2)))
         assert decided
         assert p == pytest.approx(0.75)
+
+    def test_decision_with_probability_boundary_ulp(self):
+        """Regression: the decision is made on the survival product.
+
+        For these positions ``p = fl(1 − q)`` rounds one ulp below
+        ``1 − q``, so the complement rule ``p >= τ`` rejects while the
+        survival rule ``q <= 1 − τ`` (the call ``influences`` makes)
+        accepts.  ``decision_with_probability`` must agree with
+        ``influences``.
+        """
+        pos = np.array([[-0.9725326469572004, -0.6502859968310326]])
+        q = float(np.prod(1.0 - PF(np.hypot(pos[:, 0], pos[:, 1]))))
+        tau = 0.23687108115445768
+        assert 1.0 - q < tau, "setup: complement rule must sit one ulp below tau"
+        assert q <= 1.0 - tau, "setup: survival rule must accept"
+        ev = InfluenceEvaluator(PF, tau=tau, early_stopping=False)
+        decided, p = ev.decision_with_probability(0.0, 0.0, pos)
+        assert decided == ev.influences(0.0, 0.0, pos)
+        assert decided
+        assert p == 1.0 - q
+
+    @given(positions_strategy, st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=100)
+    def test_decision_with_probability_matches_influences(self, pos, tau):
+        """The docstring contract: every path makes the same boundary call."""
+        ev = InfluenceEvaluator(PF, tau=tau, early_stopping=False)
+        decided, _ = ev.decision_with_probability(0.0, 0.0, pos)
+        assert decided == ev.influences(0.0, 0.0, pos)
 
 
 class TestEvaluationStats:

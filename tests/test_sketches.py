@@ -79,6 +79,54 @@ class TestFMSketch:
         assert a.union(b).estimate() >= max(a.estimate(), b.estimate())
 
 
+class TestFMSketchBoundaries:
+    """Regression tests for empty / sparse register (−1 sentinel) handling."""
+
+    def test_empty_sketch_estimates_zero_any_register_count(self):
+        for m in (1, 16, 64, 1024):
+            sketch = FMSketch(m)
+            assert sketch.is_empty
+            assert sketch.estimate() == 0.0
+
+    def test_single_item_estimates_about_one(self):
+        # One insert occupies one register; a 2^mean over the untouched
+        # -1 registers must not leak into the estimate.
+        for seed in range(10):
+            sketch = FMSketch(64, seed=seed)
+            sketch.add(12345)
+            assert not sketch.is_empty
+            assert 0.5 <= sketch.estimate() <= 3.0
+
+    def test_single_item_high_rank_not_garbage(self):
+        # Force a pathologically high rank into a tiny sparse sketch: the
+        # mostly-empty guard must keep the estimate near the occupancy
+        # count instead of reporting 2^rank-scale garbage.
+        sketch = FMSketch(n_registers=4)
+        sketch._registers[0] = 60
+        assert sketch.estimate() < 10.0
+
+    def test_union_of_empties_is_empty(self):
+        merged = FMSketch(64, 1).union(FMSketch(64, 1))
+        assert merged.is_empty
+        assert merged.estimate() == 0.0
+
+    def test_union_with_empty_is_identity(self):
+        a = FMSketch.of(range(500), 128, 7)
+        merged = a.union(FMSketch(128, 7))
+        assert merged.estimate() == a.estimate()
+
+    def test_merged_disjoint_sketches(self):
+        a = FMSketch.of(range(0, 2000), 256, 5)
+        b = FMSketch.of(range(2000, 4000), 256, 5)
+        merged = a.union(b)
+        # Union-by-max of disjoint sets estimates the combined cardinality.
+        assert merged.estimate() >= max(a.estimate(), b.estimate())
+        assert merged.estimate() == pytest.approx(4000, rel=0.35)
+        # And equals the sketch built from the union directly.
+        direct = FMSketch.of(range(4000), 256, 5)
+        assert merged.estimate() == direct.estimate()
+
+
 class TestSketchedGreedy:
     def random_table(self, seed, n_c=20, n_u=400):
         rng = np.random.default_rng(seed)
