@@ -8,7 +8,10 @@ figures.
 Run directly (``python benchmarks/bench_micro_core_ops.py [--smoke]``)
 to time the scalar-vs-batch verification kernel on a >= 1k-user batch
 and write the ``BENCH_batch_verify.json`` trajectory point at the repo
-root; the test suite invokes ``--smoke`` so the comparison cannot rot.
+root; ``--bench greedy`` instead times the scalar greedy against the
+vectorized CSR selection kernel on a >= 50k-user table and writes
+``BENCH_greedy_select.json``.  The test suite invokes ``--smoke`` for
+both, so neither comparison can rot.
 """
 
 import argparse
@@ -174,31 +177,132 @@ def run_batch_verify_benchmark(
     return payload
 
 
+# ----------------------------------------------------------------------
+# Scalar-vs-CSR greedy selection (the BENCH_greedy_select trajectory
+# point; `--bench greedy --smoke` is wired into the test suite).
+# ----------------------------------------------------------------------
+def _selection_table(n_users: int, n_candidates: int, seed: int = 0):
+    """A deterministic influence table with skewed coverage sets."""
+    from repro.competition import InfluenceTable
+
+    rng = np.random.default_rng(seed)
+    # Coverage sizes follow a lognormal (few hub candidates, many small),
+    # bounded so the densified matrix stays a realistic sparsity.
+    sizes = np.clip(
+        rng.lognormal(mean=np.log(n_users / 50.0), sigma=0.8, size=n_candidates),
+        1,
+        n_users // 5,
+    ).astype(np.int64)
+    omega = {
+        cid: set(rng.choice(n_users, size=int(sizes[cid]), replace=False).tolist())
+        for cid in range(n_candidates)
+    }
+    f_o = {
+        uid: set(range(1000, 1000 + int(c)))
+        for uid, c in enumerate(rng.integers(0, 6, size=n_users).tolist())
+    }
+    return InfluenceTable.from_mappings(omega, f_o)
+
+
+def run_greedy_select_benchmark(
+    n_users: int = 50_000,
+    n_candidates: int = 500,
+    k: int = 10,
+    repeats: int = 3,
+    out_path: Path = None,
+) -> dict:
+    """Time the scalar greedy against the CSR selection kernel.
+
+    Returns (and writes to ``out_path``) the recorded trajectory point:
+    best-of-``repeats`` wall-clock for both paths, the speedup, and the
+    selection-identity checks (same tuple, bit-equal gains).
+    """
+    from repro.solvers import coverage_select, greedy_select
+
+    table = _selection_table(n_users, n_candidates)
+    cids = list(range(n_candidates))
+
+    def best_of(fn):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    scalar_s, scalar_out = best_of(lambda: greedy_select(table, cids, k))
+    fast_s, fast_out = best_of(lambda: coverage_select(table, cids, k))
+    payload = {
+        "benchmark": "greedy_select",
+        "n_users": n_users,
+        "n_candidates": n_candidates,
+        "k": k,
+        "scalar_s": scalar_s,
+        "fast_s": fast_s,
+        "speedup": scalar_s / fast_s,
+        "selections_equal": scalar_out.selected == fast_out.selected,
+        "gains_equal": scalar_out.gains == fast_out.gains,
+        "objective": fast_out.objective,
+        "scalar_evaluations": scalar_out.evaluations,
+        "fast_evaluations": fast_out.evaluations,
+    }
+    if out_path is not None:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Scalar-vs-batch verification microbenchmark"
+        description="Core-operation microbenchmarks (verification / selection)"
+    )
+    parser.add_argument(
+        "--bench",
+        choices=["batch", "greedy"],
+        default="batch",
+        help="which kernel to benchmark (default: the verification kernel)",
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="single quick repeat (still >= 1k users); used by the test suite",
+        help="quick run at reduced scale; used by the test suite",
     )
-    parser.add_argument("--users", type=int, default=1200)
-    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument("--candidates", type=int, default=500)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_batch_verify.json",
-        help="output JSON path (default: repo root)",
+        default=None,
+        help="output JSON path (default: BENCH_<bench>.json at the repo root)",
     )
     args = parser.parse_args(argv)
-    repeats = 2 if args.smoke else args.repeats
-    payload = run_batch_verify_benchmark(
-        n_users=args.users, repeats=repeats, out_path=args.out
-    )
+
+    if args.bench == "batch":
+        out = args.out or REPO_ROOT / "BENCH_batch_verify.json"
+        payload = run_batch_verify_benchmark(
+            n_users=args.users or 1200,
+            repeats=args.repeats or (2 if args.smoke else 5),
+            out_path=out,
+        )
+        ok = payload["decisions_equal"] and payload["stats_equal"]
+    else:
+        out = args.out or REPO_ROOT / "BENCH_greedy_select.json"
+        if args.smoke:
+            n_users, n_candidates, repeats = 8_000, 200, 2
+        else:
+            n_users, n_candidates, repeats = 50_000, args.candidates, 3
+        payload = run_greedy_select_benchmark(
+            n_users=args.users or n_users,
+            n_candidates=n_candidates,
+            k=args.k,
+            repeats=args.repeats or repeats,
+            out_path=out,
+        )
+        ok = payload["selections_equal"] and payload["gains_equal"]
     print(json.dumps(payload, indent=2))
-    if not (payload["decisions_equal"] and payload["stats_equal"]):
-        print("ERROR: batch kernel disagrees with the scalar evaluator")
+    if not ok:
+        print("ERROR: fast kernel disagrees with the scalar reference")
         return 1
     return 0
 

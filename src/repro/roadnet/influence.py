@@ -24,7 +24,7 @@ from ..competition import InfluenceTable
 from ..entities import AbstractFacility, SpatialDataset
 from ..exceptions import DataError
 from ..influence import ProbabilityFunction, paper_default_pf
-from ..solvers import GreedyOutcome, greedy_select
+from ..solvers import GreedyOutcome, run_selection
 from .network import RoadNetwork
 
 _PF_EPSILON = 1e-12
@@ -133,12 +133,17 @@ def solve_on_network(
     tau: float = 0.7,
     pf: Optional[ProbabilityFunction] = None,
     cutoff: Optional[float] = None,
+    fast_select: bool = True,
 ) -> NetworkSolveResult:
-    """Solve MC²LS with network distances end to end."""
+    """Solve MC²LS with network distances end to end.
+
+    ``fast_select`` routes the greedy through the vectorized CSR kernel
+    (identical selection); ``False`` restores the scalar greedy.
+    """
     model = NetworkInfluenceModel(network, dataset, pf=pf, tau=tau, cutoff=cutoff)
     table = model.build_table()
-    outcome: GreedyOutcome = greedy_select(
-        table, [c.fid for c in dataset.candidates], k
+    outcome: GreedyOutcome = run_selection(
+        table, [c.fid for c in dataset.candidates], k, fast_select=fast_select
     )
     return NetworkSolveResult(
         selected=outcome.selected,

@@ -4,10 +4,16 @@ from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
 from .baseline import BaselineGreedySolver
 from .budgeted import BudgetedGreedySolver
 from .capacitated import CapacitatedGreedySolver, CapacitatedOutcome
+from .coverage import CoverageMatrix, coverage_select
 from .exact import ExactSolver
 from .iqt import IQTSolver, IQTVariant
 from .kcifp import AdaptedKCIFPSolver
-from .selection import GreedyOutcome, greedy_select, lazy_greedy_select
+from .selection import (
+    GreedyOutcome,
+    greedy_select,
+    lazy_greedy_select,
+    run_selection,
+)
 
 __all__ = [
     "AdaptedKCIFPSolver",
@@ -15,6 +21,7 @@ __all__ = [
     "BudgetedGreedySolver",
     "CapacitatedGreedySolver",
     "CapacitatedOutcome",
+    "CoverageMatrix",
     "ExactSolver",
     "GreedyOutcome",
     "IQTSolver",
@@ -23,6 +30,8 @@ __all__ = [
     "PhaseTimer",
     "Solver",
     "SolverResult",
+    "coverage_select",
     "greedy_select",
     "lazy_greedy_select",
+    "run_selection",
 ]

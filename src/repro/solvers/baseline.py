@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..competition import InfluenceTable
 from ..influence import InfluenceEvaluator
 from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult, resolve_all_pairs
-from .selection import greedy_select
+from .selection import run_selection
 
 
 class BaselineGreedySolver(Solver):
@@ -23,12 +23,16 @@ class BaselineGreedySolver(Solver):
             through the batched kernel (default); ``False`` restores the
             pair-at-a-time scalar loop for ablations.  Decisions and
             counters are identical either way.
+        fast_select: Run the greedy phase through the vectorized CSR
+            selection kernel (identical selection); ``False`` restores
+            the scalar greedy.
     """
 
     name = "baseline"
 
-    def __init__(self, batch_verify: bool = True):
+    def __init__(self, batch_verify: bool = True, fast_select: bool = True):
         self.batch_verify = batch_verify
+        self.fast_select = fast_select
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         timer = PhaseTimer()
@@ -44,7 +48,12 @@ class BaselineGreedySolver(Solver):
 
         table = InfluenceTable(omega_c, f_o)
         with timer.mark("greedy"):
-            outcome = greedy_select(table, [c.fid for c in dataset.candidates], problem.k)
+            outcome = run_selection(
+                table,
+                [c.fid for c in dataset.candidates],
+                problem.k,
+                fast_select=self.fast_select,
+            )
 
         return SolverResult(
             selected=outcome.selected,

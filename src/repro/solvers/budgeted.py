@@ -14,9 +14,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
+import numpy as np
+
 from ..competition import EvenlySplitModel, InfluenceTable
 from ..exceptions import SolverError
 from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .coverage import CoverageMatrix
 from .iqt import IQTSolver
 
 
@@ -27,6 +30,11 @@ class BudgetedGreedySolver(Solver):
         costs: ``candidate id -> opening cost`` (positive).
         budget: Total budget ``B``.
         base_solver: Relationship-resolution solver (defaults to IQT).
+        fast_select: Evaluate each round's gain/cost ratios for all
+            affordable candidates in one vectorized CSR pass, with the
+            round winner confirmed at exact (``fsum``) precision —
+            identical selection to the scalar ratio greedy; ``False``
+            restores the scalar loop.
 
     The problem's ``k`` is ignored (the budget is the binding
     constraint); it must still be a valid value for problem construction.
@@ -39,6 +47,7 @@ class BudgetedGreedySolver(Solver):
         costs: Dict[int, float],
         budget: float,
         base_solver: Optional[Solver] = None,
+        fast_select: bool = True,
     ):
         if budget <= 0:
             raise SolverError(f"budget must be positive, got {budget}")
@@ -47,6 +56,7 @@ class BudgetedGreedySolver(Solver):
         self.costs = dict(costs)
         self.budget = budget
         self.base_solver = base_solver or IQTSolver()
+        self.fast_select = fast_select
 
     # ------------------------------------------------------------------
     def solve(self, problem: MC2LSProblem) -> SolverResult:
@@ -61,9 +71,16 @@ class BudgetedGreedySolver(Solver):
             raise SolverError(f"no cost given for candidates {missing[:5]}")
 
         with timer.mark("greedy"):
-            ratio_sel, ratio_gains = self._ratio_greedy(table, model, candidate_ids)
+            if self.fast_select:
+                cover = CoverageMatrix(table, candidate_ids, model=model)
+                ratio_sel, ratio_gains = self._ratio_greedy_fast(cover)
+                single = self._best_single_fast(cover)
+            else:
+                ratio_sel, ratio_gains = self._ratio_greedy(
+                    table, model, candidate_ids
+                )
+                single = self._best_single(table, model, candidate_ids)
             ratio_value = model.group_value(table, ratio_sel)
-            single = self._best_single(table, model, candidate_ids)
             if single is not None and model.group_value(table, [single]) > ratio_value:
                 selected: List[int] = [single]
                 gains = (model.group_value(table, [single]),)
@@ -120,6 +137,72 @@ class BudgetedGreedySolver(Solver):
                 if cid != best_cid and spent + self.costs[cid] <= self.budget
             ]
         return selected, gains
+
+    # ------------------------------------------------------------------
+    def _ratio_greedy_fast(
+        self, cover: CoverageMatrix
+    ) -> tuple[List[int], List[float]]:
+        """Vectorized ratio greedy, selection-identical to the scalar one.
+
+        Screened gains bound each candidate's exact gain/cost ratio from
+        both sides (the 1e-12 slack swallows the division rounding);
+        only candidates whose upper edge reaches the best lower edge are
+        confirmed with exact ``fsum`` gains, scanned in ascending id with
+        the scalar loop's strict-``>`` rule.
+        """
+        cand = cover.candidate_ids
+        costs = np.array([self.costs[int(cid)] for cid in cand], dtype=np.float64)
+        covered = cover.new_covered_mask()
+        remaining = np.flatnonzero(costs <= self.budget)
+        selected: List[int] = []
+        gains: List[float] = []
+        spent = 0.0
+        while remaining.size:
+            g, t = cover.screened_gains(remaining, covered)
+            c = costs[remaining]
+            ub = (g + t) / c * (1.0 + 1e-12)
+            lb = (g - t) / c * (1.0 - 1e-12)
+            near = remaining[ub >= lb.max()]
+            best_j = None
+            best_ratio = -1.0
+            best_gain = 0.0
+            for j in near.tolist():  # ascending index == ascending cid
+                gain = cover.exact_gain(j, covered)
+                ratio = gain / costs[j]
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best_gain = gain
+                    best_j = j
+            if best_j is None or best_gain <= 0.0:
+                break
+            selected.append(int(cand[best_j]))
+            gains.append(best_gain)
+            cover.cover(best_j, covered)
+            spent += costs[best_j]
+            remaining = remaining[
+                (remaining != best_j) & (spent + costs[remaining] <= self.budget)
+            ]
+        return selected, gains
+
+    def _best_single_fast(self, cover: CoverageMatrix) -> Optional[int]:
+        costs = np.array(
+            [self.costs[int(cid)] for cid in cover.candidate_ids],
+            dtype=np.float64,
+        )
+        affordable = np.flatnonzero(costs <= self.budget)
+        if affordable.size == 0:
+            return None
+        covered = cover.new_covered_mask()
+        g, t = cover.screened_gains(affordable, covered)
+        near = affordable[(g + t) >= (g - t).max()]
+        best = None
+        best_value = -1.0
+        for j in near.tolist():
+            value = cover.exact_gain(j, covered)
+            if value > best_value:
+                best_value = value
+                best = int(cover.candidate_ids[j])
+        return best
 
     def _best_single(
         self,

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import comb
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from ..competition import InfluenceTable, cinf_group
 from ..exceptions import SolverError
@@ -26,13 +29,26 @@ class ExactSolver(Solver):
             :class:`SolverError` instead of running forever.
         batch_verify: Resolve the influence table through the batched
             kernel (default) or the pair-at-a-time scalar loop.
+        fast_select: Enumerate with vectorised coverage masks — prefix
+            unions shared across the lexicographic recursion, one
+            boolean OR plus one dot product per combination — instead of
+            Python set unions; screened values only ever *shortlist*
+            combinations, and every shortlisted one is re-scored with
+            the exact ``cinf_group`` in lexicographic order, so the
+            returned group is identical to the scalar enumeration.
     """
 
     name = "exact"
 
-    def __init__(self, max_combinations: int = 2_000_000, batch_verify: bool = True):
+    def __init__(
+        self,
+        max_combinations: int = 2_000_000,
+        batch_verify: bool = True,
+        fast_select: bool = True,
+    ):
         self.max_combinations = max_combinations
         self.batch_verify = batch_verify
+        self.fast_select = fast_select
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         dataset = problem.dataset
@@ -53,15 +69,17 @@ class ExactSolver(Solver):
             )
         table = InfluenceTable(omega_c, f_o)
 
-        best_group: tuple[int, ...] = ()
-        best_value = -1.0
         with timer.mark("enumeration"):
             cids = sorted(c.fid for c in dataset.candidates)
-            for group in combinations(cids, problem.k):
-                value = cinf_group(table, group)
-                if value > best_value:
-                    best_value = value
-                    best_group = group
+            table.validate_against(set(cids))
+            if self.fast_select:
+                best_group, best_value = self._enumerate_fast(
+                    table, cids, problem.k
+                )
+            else:
+                best_group, best_value = self._enumerate_scalar(
+                    table, cids, problem.k
+                )
 
         return SolverResult(
             selected=best_group,
@@ -70,3 +88,84 @@ class ExactSolver(Solver):
             timings=timer.finish(),
             evaluation=evaluator.stats,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _enumerate_scalar(
+        table: InfluenceTable, cids: Sequence[int], k: int
+    ) -> Tuple[Tuple[int, ...], float]:
+        best_group: Tuple[int, ...] = ()
+        best_value = -1.0
+        for group in combinations(cids, k):
+            value = cinf_group(table, group)
+            if value > best_value:
+                best_value = value
+                best_group = group
+        return best_group, best_value
+
+    @staticmethod
+    def _enumerate_fast(
+        table: InfluenceTable, cids: Sequence[int], k: int
+    ) -> Tuple[Tuple[int, ...], float]:
+        """Two-pass vectorised enumeration, identical to the scalar scan.
+
+        Pass 1 finds the maximum *screened* value (dot products carry a
+        bounded rounding error); pass 2 re-walks the combinations and
+        scores every one whose screened value reaches the maximum minus
+        that bound with the exact ``cinf_group``, applying the scalar
+        loop's first-strictly-greater rule in the same lexicographic
+        order.  The winner therefore matches the scalar enumeration
+        exactly, ties included.
+        """
+        from .coverage import CoverageMatrix
+
+        cover = CoverageMatrix(table, cids)
+        n = cover.n_candidates
+        n_users = cover.n_users
+        w = cover.weights
+        masks = np.zeros((n, max(n_users, 1)), dtype=bool)
+        for j in range(n):
+            masks[j, cover.col[cover.indptr[j] : cover.indptr[j + 1]]] = True
+        # Worst-case dot-product error over a combo: n_users · ulp · Σw,
+        # doubled for slack; any combo within it of the screened maximum
+        # is shortlisted for exact rescoring.
+        tol = 2.0 * n_users * (2.0 ** -52) * float(w.sum()) if n_users else 0.0
+        root = np.zeros(masks.shape[1], dtype=bool)
+
+        best_screened = -np.inf
+
+        def scan(start: int, depth: int, prefix: np.ndarray) -> None:
+            nonlocal best_screened
+            for j in range(start, n - (k - depth) + 1):
+                union = prefix | masks[j]
+                if depth + 1 == k:
+                    value = float(union @ w)
+                    if value > best_screened:
+                        best_screened = value
+                else:
+                    scan(j + 1, depth + 1, union)
+
+        scan(0, 0, root)
+
+        best_group: Tuple[int, ...] = ()
+        best_value = -1.0
+        path: List[int] = []
+
+        def confirm(start: int, depth: int, prefix: np.ndarray) -> None:
+            nonlocal best_group, best_value
+            for j in range(start, n - (k - depth) + 1):
+                union = prefix | masks[j]
+                path.append(j)
+                if depth + 1 == k:
+                    if float(union @ w) >= best_screened - tol:
+                        group = tuple(cover.candidate_ids[i] for i in path)
+                        value = cinf_group(table, group)
+                        if value > best_value:
+                            best_value = value
+                            best_group = group
+                else:
+                    confirm(j + 1, depth + 1, union)
+                path.pop()
+
+        confirm(0, 0, root)
+        return best_group, best_value

@@ -26,7 +26,7 @@ from ..influence import BatchInfluenceEvaluator, InfluenceEvaluator
 from ..pruning import PinocchioPruner, PruningStats
 from ..spatial import IQuadTree
 from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
-from .selection import greedy_select
+from .selection import run_selection
 
 
 class IQTVariant(enum.Enum):
@@ -52,6 +52,9 @@ class IQTSolver(Solver):
             of one scalar call per pair (bit-identical decisions and
             counters); ``False`` restores the scalar PINOCCHIO loop for
             the ablation benchmarks.
+        fast_select: Run phase 4 through the vectorized CSR selection
+            kernel (identical selection and gains); ``False`` restores
+            the scalar greedy for the ablation benchmarks.
     """
 
     def __init__(
@@ -61,12 +64,14 @@ class IQTSolver(Solver):
         early_stopping: bool = True,
         exact_rounded: bool = False,
         batch_verify: bool = True,
+        fast_select: bool = True,
     ):
         self.d_hat = d_hat
         self.variant = variant
         self.early_stopping = early_stopping
         self.exact_rounded = exact_rounded
         self.batch_verify = batch_verify
+        self.fast_select = fast_select
         self.name = variant.value
 
     # ------------------------------------------------------------------
@@ -170,7 +175,12 @@ class IQTSolver(Solver):
 
         table = InfluenceTable(omega_c, f_o)
         with timer.mark("greedy"):
-            outcome = greedy_select(table, [c.fid for c in dataset.candidates], problem.k)
+            outcome = run_selection(
+                table,
+                [c.fid for c in dataset.candidates],
+                problem.k,
+                fast_select=self.fast_select,
+            )
 
         return SolverResult(
             selected=outcome.selected,

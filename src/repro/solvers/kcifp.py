@@ -17,7 +17,7 @@ from ..competition import InfluenceTable
 from ..influence import InfluenceEvaluator
 from ..pruning import PinocchioPruner, PruningStats
 from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
-from .selection import greedy_select
+from .selection import run_selection
 
 
 class AdaptedKCIFPSolver(Solver):
@@ -28,12 +28,16 @@ class AdaptedKCIFPSolver(Solver):
             probability (Definition 2), so the default is ``False``; pass
             ``True`` to give the baseline competitor the PINOCCHIO early
             stopping as well (an ablation knob).
+        fast_select: Run the greedy phase through the vectorized CSR
+            selection kernel (identical selection); ``False`` restores
+            the scalar greedy.
     """
 
     name = "k-cifp"
 
-    def __init__(self, early_stopping: bool = False):
+    def __init__(self, early_stopping: bool = False, fast_select: bool = True):
         self.early_stopping = early_stopping
+        self.fast_select = fast_select
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         timer = PhaseTimer()
@@ -83,7 +87,12 @@ class AdaptedKCIFPSolver(Solver):
 
         table = InfluenceTable(omega_c, f_o)
         with timer.mark("greedy"):
-            outcome = greedy_select(table, [c.fid for c in dataset.candidates], problem.k)
+            outcome = run_selection(
+                table,
+                [c.fid for c in dataset.candidates],
+                problem.k,
+                fast_select=self.fast_select,
+            )
 
         return SolverResult(
             selected=outcome.selected,

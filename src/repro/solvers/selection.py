@@ -8,10 +8,18 @@ repeat ``k`` times.  Two implementations:
 * :func:`lazy_greedy_select` — CELF-style lazy evaluation exploiting
   submodularity; returns the identical selection with far fewer candidate
   evaluations on large candidate sets (ablation A2).
+* :func:`run_selection` — dispatch between the scalar greedy and the
+  vectorized CSR kernel (:mod:`repro.solvers.coverage`) behind the
+  solvers' ``fast_select`` knob; all paths select identically.
 
 Ties are broken toward the smallest candidate id so all solvers produce
 exactly the same sequence, which the paper's Fig. 14 relies on ("all the
 algorithms achieve identical k result candidates").
+
+Every entry point validates the table against the candidate set up
+front: a table referencing unknown candidate ids raises
+:class:`~repro.exceptions.SolverError` instead of silently selecting
+from a mismatched universe.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ def greedy_select(
     """Paper-faithful greedy: recompute every candidate's gain each round."""
     if k < 1 or k > len(candidate_ids):
         raise SolverError(f"k={k} infeasible for {len(candidate_ids)} candidates")
+    table.validate_against(set(candidate_ids))
     model = model or EvenlySplitModel()
     remaining = sorted(candidate_ids)
     covered: Set[int] = set()
@@ -80,6 +89,7 @@ def lazy_greedy_select(
     """
     if k < 1 or k > len(candidate_ids):
         raise SolverError(f"k={k} infeasible for {len(candidate_ids)} candidates")
+    table.validate_against(set(candidate_ids))
     model = model or EvenlySplitModel()
     covered: Set[int] = set()
     evaluations = 0
@@ -105,3 +115,25 @@ def lazy_greedy_select(
             evaluations += 1
             heapq.heappush(heap, (-gain, cid, round_no))
     return GreedyOutcome(tuple(selected), sum(gains), tuple(gains), evaluations)
+
+
+def run_selection(
+    table: InfluenceTable,
+    candidate_ids: Sequence[int],
+    k: int,
+    model: CompetitionModel | None = None,
+    fast_select: bool = True,
+) -> GreedyOutcome:
+    """Run the greedy phase through the CSR kernel or the scalar loop.
+
+    The solvers' shared dispatch point for the ``fast_select`` knob: when
+    on (the default), selection runs through
+    :class:`~repro.solvers.coverage.CoverageMatrix`; off restores the
+    scalar recompute-every-round greedy for ablations.  Both paths
+    return the identical ``selected`` tuple and gains.
+    """
+    if fast_select:
+        from .coverage import coverage_select
+
+        return coverage_select(table, candidate_ids, k, model=model)
+    return greedy_select(table, candidate_ids, k, model=model)

@@ -35,7 +35,7 @@ from ..influence import (
     paper_default_pf,
 )
 from ..pruning import PinocchioPruner
-from ..solvers import GreedyOutcome, greedy_select
+from ..solvers import GreedyOutcome, run_selection
 
 
 class StreamingMC2LS:
@@ -52,6 +52,9 @@ class StreamingMC2LS:
         batch_verify: Re-verify each arriving user against all its
             interstitial facilities in one batched kernel call (default);
             ``False`` keeps the facility-at-a-time scalar loop.
+        fast_select: Run selection queries through the vectorized CSR
+            kernel (identical selection); ``False`` restores the scalar
+            greedy.
     """
 
     def __init__(
@@ -63,6 +66,7 @@ class StreamingMC2LS:
         pf: Optional[ProbabilityFunction] = None,
         early_stopping: bool = True,
         batch_verify: bool = True,
+        fast_select: bool = True,
     ):
         if k < 1 or k > len(candidates):
             raise SolverError(f"k={k} infeasible for {len(candidates)} candidates")
@@ -72,6 +76,7 @@ class StreamingMC2LS:
         self.facilities = tuple(facilities)
         self.candidates = tuple(candidates)
         self.batch_verify = batch_verify
+        self.fast_select = fast_select
         self._evaluator = InfluenceEvaluator(
             self.pf, tau, early_stopping=early_stopping
         )
@@ -149,18 +154,52 @@ class StreamingMC2LS:
         return user
 
     def update_user(self, user: MovingUser) -> None:
-        """Re-classify a user whose position history changed."""
-        self.remove_user(user.uid)
-        self.add_user(user)
-        self.events_processed -= 1  # count the update as one event
+        """Re-classify a user whose position history changed.
+
+        Exception-safe: if re-classification of the new history fails
+        after the removal succeeded, the user's prior state (position
+        history, coverage, competitors, event count) is restored before
+        the exception propagates, so a failed update never silently
+        drops the user or skews ``events_processed``.
+        """
+        uid = user.uid
+        if uid not in self._users:
+            raise SolverError(f"user {uid} not present")
+        old_user = self._users[uid]
+        old_covering = set(self._covering.get(uid, ()))
+        old_fo = self._f_o.get(uid)
+        old_fo = set(old_fo) if old_fo is not None else None
+        events_before = self.events_processed
+        self.remove_user(uid)
+        try:
+            self.add_user(user)
+        except BaseException:
+            # Drop whatever add_user managed to record before failing,
+            # then put the pre-update state back.
+            self._users.pop(uid, None)
+            for cid in self._covering.pop(uid, ()):
+                self._omega_c[cid].discard(uid)
+            self._f_o.pop(uid, None)
+            self._users[uid] = old_user
+            for cid in old_covering:
+                self._omega_c[cid].add(uid)
+            self._covering[uid] = old_covering
+            if old_fo is not None:
+                self._f_o[uid] = old_fo
+            self.events_processed = events_before
+            raise
+        self.events_processed = events_before + 1  # one event per update
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def current_selection(self) -> GreedyOutcome:
         """Greedy ``k``-selection over the live population."""
-        return greedy_select(
-            self.table(), [c.fid for c in self.candidates], self.k
+        return run_selection(
+            self.table(),
+            [c.fid for c in self.candidates],
+            self.k,
+            fast_select=self.fast_select,
         )
 
     def current_dataset(self) -> SpatialDataset:

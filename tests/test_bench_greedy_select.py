@@ -1,0 +1,58 @@
+"""Smoke test: the greedy-selection microbenchmark must run and record.
+
+Invokes ``benchmarks/bench_micro_core_ops.py --bench greedy --smoke`` the
+way a user would (as a subprocess) and asserts the trajectory point has
+the selection-identity checks green and the speedup above the smoke
+floor.  The smoke run writes to a temporary path so the committed
+full-scale ``BENCH_greedy_select.json`` at the repo root (>= 50k users,
+>= 500 candidates) is not overwritten by test runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_smoke_records_trajectory_point(tmp_path):
+    out_path = tmp_path / "BENCH_greedy_select.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_micro_core_ops.py"),
+            "--bench",
+            "greedy",
+            "--smoke",
+            "--out",
+            str(out_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out_path.exists()
+    payload = json.loads(out_path.read_text())
+    assert payload["benchmark"] == "greedy_select"
+    assert payload["n_users"] >= 5000
+    assert payload["n_candidates"] >= 100
+    assert payload["selections_equal"] is True
+    assert payload["gains_equal"] is True
+    assert payload["speedup"] >= 2.0
+
+
+def test_committed_trajectory_point_is_full_scale():
+    """The recorded repo-root point meets the acceptance floor."""
+    payload = json.loads((REPO_ROOT / "BENCH_greedy_select.json").read_text())
+    assert payload["n_users"] >= 50_000
+    assert payload["n_candidates"] >= 500
+    assert payload["selections_equal"] is True
+    assert payload["gains_equal"] is True
+    assert payload["speedup"] >= 5.0

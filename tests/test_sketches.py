@@ -172,3 +172,95 @@ class TestSketchedGreedy:
         out = sketched_coverage_greedy(result.table, cids, k=3)
         assert len(out.selected) == 3
         assert out.exact_coverage >= 1
+
+
+class TestSentinelRegression:
+    """Pinned instance where the pre-fix ``-1.0`` sentinel crashed.
+
+    Four near-identical coverage sets with m=16 registers and seed 44:
+    round 0 ties at the linear-counting estimate 16·ln(16) ≈ 44.36 (one
+    register still empty — the correction side of the estimator's branch
+    boundary), but every remaining candidate's union fills that last
+    register, switching the estimator to the raw LogLog branch at
+    ≈ 42.73.  Every round-1 gain is then ≈ −1.63 ≤ −1.0, below the old
+    sentinel, so no candidate was ever picked and the selection crashed.
+    """
+
+    BASE = [
+        0, 1, 2, 5, 6, 7, 8, 9, 11, 12, 14, 17, 18, 21, 22, 24, 25, 26,
+        28, 30, 31, 32, 33, 34, 37, 39, 40, 42, 43, 44, 45, 46, 47, 48,
+        49, 50, 51, 52, 53, 56, 59, 60, 63, 65, 68, 69,
+    ]
+    M = 16
+    SEED = 44
+
+    def pinned_table(self):
+        base = set(self.BASE)
+        omega = {
+            0: base - {25, 46, 59},
+            1: set(base),
+            2: set(base),
+            3: (base | {19}) - {40, 47},
+        }
+        f_o = {uid: set() for uid in base | {19}}
+        return InfluenceTable.from_mappings(omega, f_o)
+
+    def test_instance_triggers_negative_gains(self):
+        """The pinned sets genuinely reproduce the old crash condition."""
+        table = self.pinned_table()
+        after_round0 = FMSketch.of(table.omega_c[0], self.M, self.SEED)
+        current = after_round0.estimate()
+        for cid in (1, 2, 3):
+            cand = FMSketch.of(table.omega_c[cid], self.M, self.SEED)
+            est = after_round0.union(cand).estimate()
+            # Strictly below the -1.0 sentinel: the old loop never
+            # accepted any candidate in round 1.
+            assert est - current <= -1.0
+
+    @pytest.mark.parametrize("fast_select", [True, False])
+    def test_selection_completes_with_clamped_gains(self, fast_select):
+        table = self.pinned_table()
+        out = sketched_coverage_greedy(
+            table, [0, 1, 2, 3], k=4, n_registers=self.M, seed=self.SEED,
+            fast_select=fast_select,
+        )
+        assert len(out.selected) == 4
+        assert sorted(out.selected) == [0, 1, 2, 3]
+        assert all(g >= 0.0 for g in out.gains)
+        # Rounds 1-3 add (near-)nothing: clamped to exactly zero.
+        assert out.gains[0] > 0.0
+        assert out.gains[1:] == (0.0, 0.0, 0.0)
+
+    def test_fast_path_bit_identical(self):
+        table = self.pinned_table()
+        fast = sketched_coverage_greedy(
+            table, [0, 1, 2, 3], k=4, n_registers=self.M, seed=self.SEED,
+            fast_select=True,
+        )
+        scalar = sketched_coverage_greedy(
+            table, [0, 1, 2, 3], k=4, n_registers=self.M, seed=self.SEED,
+            fast_select=False,
+        )
+        assert fast == scalar
+
+
+class TestFastPathEquivalence:
+    """The register-matrix fast path is bit-equal to the sketch loop."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("m", [16, 64, 256])
+    def test_bit_identical_selections(self, seed, m):
+        rng = np.random.default_rng(seed)
+        omega = {
+            cid: set(rng.choice(300, size=int(rng.integers(0, 120)),
+                                replace=False).tolist())
+            for cid in range(12)
+        }
+        t = InfluenceTable.from_mappings(omega, {})
+        fast = sketched_coverage_greedy(
+            t, list(range(12)), k=6, n_registers=m, seed=seed, fast_select=True
+        )
+        scalar = sketched_coverage_greedy(
+            t, list(range(12)), k=6, n_registers=m, seed=seed, fast_select=False
+        )
+        assert fast == scalar

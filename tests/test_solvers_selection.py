@@ -106,3 +106,35 @@ class TestLazyGreedy:
     def test_paper_example(self, paper_table):
         outcome = lazy_greedy_select(paper_table, [1, 2, 3], k=2)
         assert outcome.selected == (3, 2)
+
+
+class TestTableValidation:
+    """Selection entry points reject tables naming unknown candidates."""
+
+    def stale_table(self):
+        # Candidate 99 exists in the table but not in the candidate list —
+        # e.g. a table resolved against a stale candidate set.
+        return InfluenceTable.from_mappings(
+            omega_c={1: {1, 2}, 2: {2}, 99: {1}},
+            f_o={1: set(), 2: {1}},
+        )
+
+    def test_greedy_select_rejects_unknown_candidates(self):
+        with pytest.raises(SolverError, match="unknown candidates"):
+            greedy_select(self.stale_table(), [1, 2], k=1)
+
+    def test_lazy_greedy_rejects_unknown_candidates(self):
+        with pytest.raises(SolverError, match="unknown candidates"):
+            lazy_greedy_select(self.stale_table(), [1, 2], k=1)
+
+    def test_coverage_kernel_rejects_unknown_candidates(self):
+        from repro.solvers import coverage_select, run_selection
+
+        with pytest.raises(SolverError, match="unknown candidates"):
+            coverage_select(self.stale_table(), [1, 2], k=1)
+        with pytest.raises(SolverError, match="unknown candidates"):
+            run_selection(self.stale_table(), [1, 2], k=1, fast_select=False)
+
+    def test_full_candidate_set_accepted(self):
+        outcome = greedy_select(self.stale_table(), [1, 2, 99], k=1)
+        assert len(outcome.selected) == 1

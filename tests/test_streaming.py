@@ -140,3 +140,58 @@ class TestEventAccounting:
         assert session.events_processed == n + 1
         session.update_user(base.users[1])
         assert session.events_processed == n + 2
+
+
+class TestUpdateExceptionSafety:
+    """A failed ``update_user`` must not corrupt the session."""
+
+    def test_update_unknown_rejected(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=2, tau=0.5)
+        with pytest.raises(SolverError):
+            session.update_user(MovingUser(999, np.full((2, 2), 5.0)))
+
+    @pytest.mark.parametrize("failing_pruner", ["_pruner_c", "_pruner_f"])
+    def test_failed_update_restores_state(self, base, failing_pruner):
+        """Re-classification raising mid-update leaves the session intact.
+
+        Parametrised over both classification stages: failing in the
+        candidate pruner exercises the earliest partial state (only the
+        user record written), failing in the facility pruner the deepest
+        (coverage and reverse index already recorded).
+        """
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        user = base.users[2]
+        before_sel = session.current_selection()
+        before_events = session.events_processed
+        before_table = session.table()
+
+        pruner = getattr(session, failing_pruner)
+        original = pruner.classify_user
+
+        def exploding(u):
+            if u.uid == user.uid:
+                raise RuntimeError("classifier exploded")
+            return original(u)
+
+        pruner.classify_user = exploding
+        moved = MovingUser(user.uid, user.positions + 2.0)
+        try:
+            with pytest.raises(RuntimeError, match="classifier exploded"):
+                session.update_user(moved)
+        finally:
+            pruner.classify_user = original
+
+        # The user survives with its pre-update history and relationships.
+        assert user.uid in session
+        assert session.events_processed == before_events
+        after_table = session.table()
+        assert after_table.omega_c == before_table.omega_c
+        assert after_table.f_o == before_table.f_o
+        restored = session.current_dataset().users[2]
+        assert restored.uid == user.uid
+        assert np.array_equal(restored.positions, user.positions)
+        assert session.current_selection().selected == before_sel.selected
+
+        # And the session still works: the same update now succeeds.
+        session.update_user(moved)
+        assert session.events_processed == before_events + 1
