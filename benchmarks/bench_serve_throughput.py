@@ -1,0 +1,163 @@
+"""Serving-engine throughput: cold direct solves vs the warm engine.
+
+Runs one what-if query batch (a ``k`` sweep crossed with several τ
+values) three ways:
+
+1. **cold** — each query is a fresh, direct ``IQTSolver.solve`` call,
+   re-resolving the influence table every time (what a caller without
+   the engine pays);
+2. **warm ×1** — the same batch through a 1-thread
+   :class:`~repro.service.SelectionEngine` whose caches are warm;
+3. **warm ×4** — the warm batch on a 4-thread engine.
+
+Every engine result is checked bit-identical (selection, gains,
+objective) to its direct counterpart before any timing is reported.
+Writes the ``BENCH_serve_throughput.json`` trajectory point at the repo
+root; ``--smoke`` (wired into the test suite) runs a reduced scale to a
+temporary path so the committed point cannot rot.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.data import california_like
+from repro.service import SelectionEngine, SelectionQuery, solve_queries
+from repro.solvers import IQTSolver, MC2LSProblem
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _query_batch(k_max, taus):
+    return [
+        SelectionQuery(k=k, tau=tau)
+        for tau in taus
+        for k in range(1, k_max + 1)
+    ]
+
+
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_serve_throughput_benchmark(
+    n_users: int = 800,
+    n_candidates: int = 60,
+    n_facilities: int = 120,
+    k_max: int = 8,
+    taus=(0.6, 0.7),
+    repeats: int = 3,
+    out_path: Path = None,
+) -> dict:
+    """Time cold direct solves against the warm engine on one batch."""
+    dataset = california_like(
+        n_users=n_users,
+        n_candidates=n_candidates,
+        n_facilities=n_facilities,
+        seed=0,
+    )
+    queries = _query_batch(k_max, taus)
+
+    def cold_pass():
+        return [
+            IQTSolver().solve(MC2LSProblem(dataset, k=q.k, tau=q.tau))
+            for q in queries
+        ]
+
+    cold_s, direct = _best_of(cold_pass, repeats)
+
+    def warm_engine(threads):
+        engine = SelectionEngine(dataset, max_workers=threads)
+        solve_queries(engine, queries)  # warm both caches
+        warm_s, served = _best_of(lambda: solve_queries(engine, queries), repeats)
+        stats = engine.stats()
+        engine.shutdown()
+        return warm_s, served, stats
+
+    warm1_s, served1, stats1 = warm_engine(1)
+    warm4_s, served4, stats4 = warm_engine(4)
+
+    identical = all(
+        s.selected == d.selected and s.gains == d.gains and s.objective == d.objective
+        for served in (served1, served4)
+        for s, d in zip(served, direct)
+    )
+    n = len(queries)
+    payload = {
+        "benchmark": "serve_throughput",
+        "n_users": n_users,
+        "n_candidates": n_candidates,
+        "n_facilities": n_facilities,
+        "n_queries": n,
+        "k_max": k_max,
+        "taus": list(taus),
+        "cold_s": cold_s,
+        "warm_1t_s": warm1_s,
+        "warm_4t_s": warm4_s,
+        "cold_qps": n / cold_s,
+        "warm_1t_qps": n / warm1_s,
+        "warm_4t_qps": n / warm4_s,
+        "speedup_warm_1t": cold_s / warm1_s,
+        "speedup_warm_4t": cold_s / warm4_s,
+        "results_identical": identical,
+        "result_cache_hit_rate_1t": stats1["result_cache"]["hit_rate"],
+        "result_cache_hit_rate_4t": stats4["result_cache"]["hit_rate"],
+    }
+    if out_path is not None:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serving-engine throughput: cold direct solves vs warm cache"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick run at reduced scale; used by the test suite",
+    )
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument("--candidates", type=int, default=None)
+    parser.add_argument("--k-max", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: BENCH_serve_throughput.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale = dict(n_users=200, n_candidates=20, n_facilities=40, k_max=4)
+        repeats = 2
+    else:
+        scale = dict(n_users=800, n_candidates=60, n_facilities=120, k_max=8)
+        repeats = 3
+    if args.users:
+        scale["n_users"] = args.users
+    if args.candidates:
+        scale["n_candidates"] = args.candidates
+    if args.k_max:
+        scale["k_max"] = args.k_max
+
+    out = args.out or REPO_ROOT / "BENCH_serve_throughput.json"
+    payload = run_serve_throughput_benchmark(
+        repeats=args.repeats or repeats, out_path=out, **scale
+    )
+    print(json.dumps(payload, indent=2))
+    if not payload["results_identical"]:
+        print("ERROR: engine results disagree with the direct solver")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

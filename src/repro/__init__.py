@@ -29,6 +29,12 @@ from .exceptions import (
 )
 from .geo import Point, Rect
 from .influence import InfluenceEvaluator, SigmoidPF, paper_default_pf
+from .service import (
+    DatasetSnapshot,
+    QueryResult,
+    SelectionEngine,
+    SelectionQuery,
+)
 from .solvers import (
     AdaptedKCIFPSolver,
     BaselineGreedySolver,
@@ -49,6 +55,7 @@ __all__ = [
     "BaselineGreedySolver",
     "CapacitatedGreedySolver",
     "DataError",
+    "DatasetSnapshot",
     "EvenlySplitModel",
     "ExactSolver",
     "GeometryError",
@@ -63,9 +70,12 @@ __all__ = [
     "Point",
     "ProbabilityError",
     "QuadTree",
+    "QueryResult",
     "RTree",
     "Rect",
     "ReproError",
+    "SelectionEngine",
+    "SelectionQuery",
     "SigmoidPF",
     "SolverError",
     "SolverResult",

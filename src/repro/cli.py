@@ -5,17 +5,23 @@ Commands:
 * ``solve``    — solve one MC²LS instance and print the selection.
 * ``compare``  — run all four algorithms on one instance, check they
   agree, and print the runtime/work comparison.
+* ``serve``    — run a what-if query batch through the serving engine
+  and print per-query cache provenance plus engine stats.
 * ``stats``    — print the distribution statistics of a dataset.
 * ``generate`` — write a synthetic SNAP-format check-in file.
 
 Datasets are either the calibrated synthetic populations (``--dataset c``
 / ``--dataset n``) or a real SNAP check-in dump (``--checkins FILE``).
+``solve`` and ``compare`` accept ``--no-batch-verify`` /
+``--no-fast-select`` to fall back to the scalar verification and
+selection kernels (the ablation knobs, otherwise on by default).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from .bench.reporting import format_table
@@ -32,12 +38,43 @@ from .solvers import (
 )
 
 _SOLVERS = {
-    "baseline": lambda: BaselineGreedySolver(),
-    "k-cifp": lambda: AdaptedKCIFPSolver(),
-    "iqt": lambda: IQTSolver(variant=IQTVariant.IQT),
-    "iqt-c": lambda: IQTSolver(variant=IQTVariant.IQT_C),
-    "iqt-pino": lambda: IQTSolver(variant=IQTVariant.IQT_PINO),
+    "baseline": lambda bv, fs: BaselineGreedySolver(batch_verify=bv, fast_select=fs),
+    "k-cifp": lambda bv, fs: AdaptedKCIFPSolver(fast_select=fs),
+    "iqt": lambda bv, fs: IQTSolver(
+        variant=IQTVariant.IQT, batch_verify=bv, fast_select=fs
+    ),
+    "iqt-c": lambda bv, fs: IQTSolver(
+        variant=IQTVariant.IQT_C, batch_verify=bv, fast_select=fs
+    ),
+    "iqt-pino": lambda bv, fs: IQTSolver(
+        variant=IQTVariant.IQT_PINO, batch_verify=bv, fast_select=fs
+    ),
 }
+
+
+def _make_solver(name: str, args: argparse.Namespace) -> Solver:
+    return _SOLVERS[name](not args.no_batch_verify, not args.no_fast_select)
+
+
+def _kernel_label(solver: Solver) -> str:
+    """Which optimised kernels a solver instance has active."""
+    parts = []
+    if getattr(solver, "batch_verify", False):
+        parts.append("batch-verify")
+    if getattr(solver, "fast_select", False):
+        parts.append("csr-select")
+    return "+".join(parts) if parts else "scalar"
+
+
+def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-batch-verify", action="store_true",
+        help="verify influence pairs with the scalar loop instead of the "
+             "batched kernel (results are identical)")
+    parser.add_argument(
+        "--no-fast-select", action="store_true",
+        help="run the greedy phase with the scalar loop instead of the "
+             "vectorized CSR kernel (results are identical)")
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -68,9 +105,10 @@ def _build_dataset(args: argparse.Namespace) -> SpatialDataset:
 def _cmd_solve(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     problem = MC2LSProblem(dataset, k=args.k, tau=args.tau)
-    solver: Solver = _SOLVERS[args.solver]()
+    solver: Solver = _make_solver(args.solver, args)
     result = solver.solve(problem)
     print(dataset.describe())
+    print(f"kernels: {_kernel_label(solver)}")
     rows = [
         {
             "round": i + 1,
@@ -92,16 +130,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(dataset.describe())
     rows = []
     reference = None
-    for name, factory in _SOLVERS.items():
+    for name in _SOLVERS:
         if name == "baseline" and args.skip_baseline:
             continue
-        result = factory().solve(problem)
+        solver = _make_solver(name, args)
+        result = solver.solve(problem)
         if reference is None:
             reference = result.selected
         agree = "yes" if result.selected == reference else "NO"
         rows.append(
             {
                 "solver": name,
+                "kernels": _kernel_label(solver),
                 "time_s": result.total_time,
                 "evaluations": result.evaluation.total_evaluations,
                 "positions_touched": result.evaluation.positions_touched,
@@ -113,6 +153,52 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if any(r["agrees"] == "NO" for r in rows):
         print("\nERROR: solvers disagree", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SelectionEngine, SelectionQuery
+
+    dataset = _build_dataset(args)
+    taus = [float(t) for t in args.taus.split(",") if t]
+    ks = list(range(1, args.k_max + 1))
+    queries = [
+        SelectionQuery(
+            k=k,
+            tau=tau,
+            solver=args.solver,
+            batch_verify=not args.no_batch_verify,
+            fast_select=not args.no_fast_select,
+        )
+        for tau in taus
+        for k in ks
+    ]
+    with SelectionEngine(dataset, max_workers=args.threads) as engine:
+        print(engine.snapshot().describe())
+        print(f"{len(queries)} queries x {args.repeat} passes "
+              f"on {args.threads} worker thread(s)\n")
+        rows = []
+        for pass_no in range(1, args.repeat + 1):
+            t0 = time.perf_counter()
+            handles = [engine.submit(q) for q in queries]
+            results = [h.result() for h in handles]
+            elapsed = time.perf_counter() - t0
+            hits = sum(1 for r in results if r.stats.result_cache == "hit")
+            rows.append(
+                {
+                    "pass": pass_no,
+                    "queries": len(results),
+                    "result_hits": hits,
+                    "wall_s": elapsed,
+                    "qps": len(results) / elapsed if elapsed > 0 else float("inf"),
+                }
+            )
+        print(format_table(rows))
+        stats = engine.stats()
+        for cache in ("prepared_cache", "result_cache"):
+            c = stats[cache]
+            print(f"\n{cache}: {c['hits']} hits / {c['misses']} misses "
+                  f"(hit rate {c['hit_rate']:.1%}), {c['evictions']} evictions")
     return 0
 
 
@@ -142,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = sub.add_parser("solve", help="solve one instance")
     _add_dataset_args(solve)
+    _add_kernel_args(solve)
     solve.add_argument("--k", type=int, default=5)
     solve.add_argument("--tau", type=float, default=0.7)
     solve.add_argument("--solver", choices=sorted(_SOLVERS), default="iqt")
@@ -149,11 +236,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="run all algorithms and compare")
     _add_dataset_args(compare)
+    _add_kernel_args(compare)
     compare.add_argument("--k", type=int, default=5)
     compare.add_argument("--tau", type=float, default=0.7)
     compare.add_argument("--skip-baseline", action="store_true",
                          help="skip the slow exhaustive baseline")
     compare.set_defaults(func=_cmd_compare)
+
+    serve = sub.add_parser(
+        "serve", help="run a what-if query batch through the serving engine")
+    _add_dataset_args(serve)
+    _add_kernel_args(serve)
+    serve.add_argument("--solver", choices=sorted(_SOLVERS), default="iqt")
+    serve.add_argument("--k-max", type=int, default=8,
+                       help="queries sweep k = 1 .. k-max (default: 8)")
+    serve.add_argument("--taus", default="0.6,0.7",
+                       help="comma-separated tau values (default: 0.6,0.7)")
+    serve.add_argument("--threads", type=int, default=2,
+                       help="scheduler worker threads (default: 2)")
+    serve.add_argument("--repeat", type=int, default=2,
+                       help="passes over the query batch; later passes "
+                            "exercise the warm caches (default: 2)")
+    serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="dataset distribution statistics")
     _add_dataset_args(stats)

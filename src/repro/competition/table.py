@@ -48,6 +48,23 @@ class InfluenceTable:
             out |= users
         return frozenset(out)
 
+    def restricted(self, candidate_ids: Set[int]) -> "InfluenceTable":
+        """A view limited to a candidate subset (user sets are shared).
+
+        The serving engine answers candidate-mask queries by restricting
+        the fully resolved table instead of re-resolving: dropping a
+        candidate's ``Ω_c`` row changes no other row and no ``F_o``
+        entry, so greedy selection over the restricted view is identical
+        to solving the instance whose candidate set *is* the subset.
+        The returned table shares the underlying sets — treat it as
+        read-only.
+        """
+        return InfluenceTable(
+            {cid: users for cid, users in self.omega_c.items()
+             if cid in candidate_ids},
+            self.f_o,
+        )
+
     def validate_against(self, candidate_ids: Set[int]) -> None:
         """Check every tracked candidate id is a known candidate."""
         unknown = set(self.omega_c) - candidate_ids

@@ -34,3 +34,19 @@ class SolverError(ReproError):
 
 class DataError(ReproError):
     """Raised when a dataset file or generator specification is invalid."""
+
+
+class ServiceError(ReproError):
+    """Raised for serving-engine misuse (no snapshot, unknown solver, …)."""
+
+
+class QueryCancelledError(ServiceError):
+    """Raised inside a query when its cancellation token has been fired."""
+
+
+class DeadlineExceededError(QueryCancelledError):
+    """Raised inside a query when its deadline passes mid-execution."""
+
+
+class EngineSaturatedError(ServiceError):
+    """Raised at admission when the scheduler's queue is already full."""

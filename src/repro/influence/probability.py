@@ -56,6 +56,17 @@ class ProbabilityFunction(ABC):
         if not 0.0 < p <= 1.0:
             raise ProbabilityError(f"probability must be in (0, 1], got {p}")
 
+    def cache_key(self) -> str:
+        """Canonical identity of this function for cache keying.
+
+        Two instances with equal keys must evaluate identically for all
+        distances.  Every provided family's ``repr`` spells out its class
+        and full parameterisation, so the default suffices; custom
+        subclasses whose ``repr`` omits parameters must override this
+        before being used with the serving engine's caches.
+        """
+        return repr(self)
+
 
 class SigmoidPF(ProbabilityFunction):
     """The paper's probability function ``PF(d) = ρ / (1 + e^d)``.

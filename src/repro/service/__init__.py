@@ -1,0 +1,48 @@
+"""Serving layer: snapshots, prepared instances, caches and the engine.
+
+The modules here turn the one-shot solvers into a query-serving system
+for heavy repeated traffic against one dataset:
+
+* :mod:`~repro.service.snapshot` — immutable, content-hashed population
+  versions (:class:`DatasetSnapshot`), publishable from batch datasets
+  or live :class:`~repro.streaming.StreamingMC2LS` sessions.
+* :mod:`~repro.service.prepared` — :class:`PreparedInstance`, the
+  resolve-once/select-many amortisation unit per ``(snapshot, solver,
+  PF, τ)``.
+* :mod:`~repro.service.cache` — instrumented, size-bounded LRU caches
+  keyed by snapshot content hash.
+* :mod:`~repro.service.scheduler` — bounded thread pool with admission
+  control, deadlines and cooperative cancellation.
+* :mod:`~repro.service.engine` — :class:`SelectionEngine`, tying the
+  layers together behind :class:`SelectionQuery` / :class:`QueryResult`.
+"""
+
+from .cache import CacheStats, LRUCache
+from .engine import (
+    SOLVER_FACTORIES,
+    QueryResult,
+    QueryStats,
+    SelectionEngine,
+    SelectionQuery,
+    solve_queries,
+)
+from .prepared import PreparedInstance
+from .scheduler import CancelToken, QueryHandle, QueryScheduler
+from .snapshot import DatasetSnapshot, dataset_content_hash
+
+__all__ = [
+    "CacheStats",
+    "CancelToken",
+    "DatasetSnapshot",
+    "LRUCache",
+    "PreparedInstance",
+    "QueryHandle",
+    "QueryResult",
+    "QueryScheduler",
+    "QueryStats",
+    "SOLVER_FACTORIES",
+    "SelectionEngine",
+    "SelectionQuery",
+    "dataset_content_hash",
+    "solve_queries",
+]

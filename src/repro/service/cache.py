@@ -1,0 +1,143 @@
+"""Size-bounded, instrumented LRU caches for the serving engine.
+
+The engine keeps two of these: one for prepared instances (the expensive
+influence-resolution products, a handful of large entries) and one for
+final selections (cheap entries, many of them).  Both are keyed by tuples
+whose first element is the owning snapshot's content hash, so
+:meth:`LRUCache.invalidate_snapshot` can drop everything a superseded
+population ever produced in one sweep.
+
+All operations are thread-safe; the counters are exposed as a
+:class:`CacheStats` snapshot for the engine's stats endpoint and the
+throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A thread-safe LRU mapping with hit/miss/eviction accounting.
+
+    Keys are tuples led by a snapshot content hash; values are opaque.
+    ``maxsize`` bounds the entry count — inserting into a full cache
+    evicts the least recently used entry.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            while len(self._data) >= self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+            self._data[key] = value
+
+    def get_or_create(self, key: Hashable, factory) -> Tuple[Any, bool]:
+        """Return ``(value, was_hit)``, creating and inserting on a miss.
+
+        The factory runs *outside* the cache lock so slow preparations do
+        not serialise unrelated lookups; two threads racing on the same
+        missing key may both build, with the second insert winning —
+        acceptable because values for equal keys are interchangeable.
+        """
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        value = factory()
+        self.put(key, value)
+        return value, False
+
+    # ------------------------------------------------------------------
+    def invalidate_snapshot(self, content_hash: str) -> int:
+        """Drop every entry keyed under ``content_hash``; return the count."""
+        with self._lock:
+            doomed = [k for k in self._data if k[0] == content_hash]
+            for k in doomed:
+                del self._data[k]
+            self._invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop all entries (counted as invalidations)."""
+        with self._lock:
+            self._invalidations += len(self._data)
+            self._data.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )

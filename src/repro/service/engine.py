@@ -1,0 +1,386 @@
+"""The in-process query-serving engine.
+
+:class:`SelectionEngine` answers repeated MC²LS selection queries against
+one published :class:`~repro.service.DatasetSnapshot`:
+
+1. **Result cache** — a selection already computed for the same
+   ``(snapshot, solver, PF, τ, k, candidate mask)`` is returned directly.
+2. **Prepared-instance cache** — otherwise the engine fetches (or
+   resolves) the :class:`~repro.service.PreparedInstance` for
+   ``(snapshot, solver, PF, τ)`` and runs only the cheap greedy phase
+   with the query's ``k`` / mask / kernel knobs.
+3. **Scheduler** — :meth:`SelectionEngine.submit` executes queries on a
+   bounded thread pool with admission control and per-query deadlines;
+   the deadline probe is threaded into every greedy round.
+
+Cache keys deliberately exclude the ``batch_verify`` / ``fast_select``
+knobs: those select execution kernels whose outputs are bit-identical
+(the repository's core invariant, enforced by the differential suites),
+so caching across them is sound.  Keys always lead with the snapshot
+content hash — a republished population gets a new hash, making stale
+service impossible by construction; supersession additionally sweeps the
+old hash's entries out of both caches.
+
+Every result carries :class:`QueryStats`: where it came from (cache
+provenance), what it cost (phase timings, verification counters), and
+which snapshot version served it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..entities import SpatialDataset
+from ..exceptions import ServiceError, SolverError
+from ..influence import ProbabilityFunction, paper_default_pf
+from ..solvers import (
+    AdaptedKCIFPSolver,
+    BaselineGreedySolver,
+    IQTSolver,
+    IQTVariant,
+    Solver,
+)
+from .cache import LRUCache
+from .prepared import PreparedInstance
+from .scheduler import CancelToken, QueryHandle, QueryScheduler
+from .snapshot import DatasetSnapshot
+
+#: Solvers the engine can prepare with, by CLI-compatible name.  Each
+#: factory takes the query's ``batch_verify`` knob; solvers without a
+#: batched verification path ignore it.
+SOLVER_FACTORIES: Dict[str, Any] = {
+    "baseline": lambda batch_verify: BaselineGreedySolver(batch_verify=batch_verify),
+    "k-cifp": lambda batch_verify: AdaptedKCIFPSolver(),
+    "iqt": lambda batch_verify: IQTSolver(
+        variant=IQTVariant.IQT, batch_verify=batch_verify
+    ),
+    "iqt-c": lambda batch_verify: IQTSolver(
+        variant=IQTVariant.IQT_C, batch_verify=batch_verify
+    ),
+    "iqt-pino": lambda batch_verify: IQTSolver(
+        variant=IQTVariant.IQT_PINO, batch_verify=batch_verify
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SelectionQuery:
+    """One what-if selection request against the published snapshot.
+
+    Attributes:
+        k: Number of locations to select.
+        tau: Influence threshold.
+        solver: Resolution strategy (key of :data:`SOLVER_FACTORIES`).
+        pf: Probability function (paper default when ``None``).
+        candidate_ids: Optional candidate mask — select only from this
+            subset of the snapshot's candidates.
+        batch_verify: Kernel knob for the resolution phase.
+        fast_select: Kernel knob for the greedy phase.
+        deadline_s: Cooperative deadline in seconds, measured from
+            submission; ``None`` disables it.
+        use_cache: Look up / populate the engine caches (disable for
+            benchmarking cold paths).
+    """
+
+    k: int
+    tau: float = 0.7
+    solver: str = "iqt"
+    pf: Optional[ProbabilityFunction] = None
+    candidate_ids: Optional[Tuple[int, ...]] = None
+    batch_verify: bool = True
+    fast_select: bool = True
+    deadline_s: Optional[float] = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.candidate_ids is not None:
+            object.__setattr__(
+                self,
+                "candidate_ids",
+                tuple(sorted(set(int(c) for c in self.candidate_ids))),
+            )
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Provenance and cost accounting for one served query."""
+
+    snapshot_hash: str
+    snapshot_version: int
+    solver: str
+    k: int
+    tau: float
+    result_cache: str  # "hit" | "miss" | "bypass"
+    prepared_cache: str  # "hit" | "miss" | "bypass" | "skip"
+    prepare_seconds: float
+    select_seconds: float
+    total_seconds: float
+    evaluations: int
+    positions_touched: int
+    selection_evaluations: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON reports and the CLI."""
+        return {
+            "snapshot_hash": self.snapshot_hash[:12],
+            "snapshot_version": self.snapshot_version,
+            "solver": self.solver,
+            "k": self.k,
+            "tau": self.tau,
+            "result_cache": self.result_cache,
+            "prepared_cache": self.prepared_cache,
+            "prepare_seconds": self.prepare_seconds,
+            "select_seconds": self.select_seconds,
+            "total_seconds": self.total_seconds,
+            "evaluations": self.evaluations,
+            "positions_touched": self.positions_touched,
+            "selection_evaluations": self.selection_evaluations,
+        }
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A served selection plus its provenance.
+
+    ``selected`` / ``objective`` / ``gains`` are bit-identical to the
+    corresponding direct ``Solver.solve`` call on the snapshot's dataset
+    (candidate-restricted when the query carried a mask).
+    """
+
+    selected: Tuple[int, ...]
+    objective: float
+    gains: Tuple[float, ...]
+    stats: QueryStats = field(compare=False)
+
+
+class SelectionEngine:
+    """Serve selection queries against published dataset snapshots.
+
+    Args:
+        snapshot: Initial population (a snapshot or a bare dataset);
+            may also be published later.
+        max_workers: Scheduler thread count.
+        max_queued: Admission-control bound on in-flight queries.
+        prepared_cache_size: LRU bound for prepared instances (each holds
+            a full influence table — keep this small).
+        result_cache_size: LRU bound for final selections (cheap entries).
+    """
+
+    def __init__(
+        self,
+        snapshot: Optional[Any] = None,
+        *,
+        max_workers: int = 4,
+        max_queued: int = 64,
+        prepared_cache_size: int = 16,
+        result_cache_size: int = 4096,
+    ) -> None:
+        self._prepared = LRUCache(prepared_cache_size)
+        self._results = LRUCache(result_cache_size)
+        self._scheduler = QueryScheduler(max_workers, max_queued)
+        self._snapshot: Optional[DatasetSnapshot] = None
+        if snapshot is not None:
+            self.publish(snapshot)
+
+    # ------------------------------------------------------------------
+    # Snapshot lifecycle
+    # ------------------------------------------------------------------
+    def publish(self, snapshot: Any) -> DatasetSnapshot:
+        """Install a new population version; supersede the previous one.
+
+        Accepts a :class:`DatasetSnapshot` or a bare
+        :class:`~repro.entities.SpatialDataset` (wrapped on the fly).
+        The superseded snapshot's cache entries are invalidated unless
+        the content hash is unchanged (republishing identical data keeps
+        the warm caches — they are still correct).
+        """
+        if isinstance(snapshot, SpatialDataset):
+            snapshot = DatasetSnapshot(snapshot)
+        if not isinstance(snapshot, DatasetSnapshot):
+            raise ServiceError(
+                f"cannot publish {type(snapshot).__name__}; expected a "
+                "DatasetSnapshot or SpatialDataset"
+            )
+        old = self._snapshot
+        if snapshot.version == 0:
+            snapshot.version = old.version + 1 if old is not None else 1
+        self._snapshot = snapshot
+        if old is not None:
+            old.supersede()
+            if old.content_hash != snapshot.content_hash:
+                self._prepared.invalidate_snapshot(old.content_hash)
+                self._results.invalidate_snapshot(old.content_hash)
+        return snapshot
+
+    def publish_streaming(self, session: Any) -> DatasetSnapshot:
+        """Publish the current state of a :class:`StreamingMC2LS` session."""
+        return self.publish(DatasetSnapshot.from_streaming(session))
+
+    def snapshot(self) -> DatasetSnapshot:
+        """The currently published snapshot."""
+        if self._snapshot is None:
+            raise ServiceError("no snapshot published")
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _validate(self, query: SelectionQuery, snapshot: DatasetSnapshot) -> None:
+        if query.solver not in SOLVER_FACTORIES:
+            raise ServiceError(
+                f"unknown solver {query.solver!r}; "
+                f"expected one of {sorted(SOLVER_FACTORIES)}"
+            )
+        if not 0.0 < query.tau < 1.0:
+            raise SolverError(f"tau must be in (0, 1), got {query.tau}")
+        n = (
+            len(query.candidate_ids)
+            if query.candidate_ids is not None
+            else len(snapshot.dataset.candidates)
+        )
+        if query.k < 1 or query.k > n:
+            raise SolverError(f"k={query.k} infeasible for {n} candidates")
+
+    def _prepared_for(
+        self,
+        snapshot: DatasetSnapshot,
+        query: SelectionQuery,
+        pf: ProbabilityFunction,
+        pkey: Tuple[Any, ...],
+    ) -> Tuple[PreparedInstance, str]:
+        def build() -> PreparedInstance:
+            solver: Solver = SOLVER_FACTORIES[query.solver](query.batch_verify)
+            return PreparedInstance(snapshot, solver, query.tau, pf)
+
+        if not query.use_cache:
+            return build(), "bypass"
+        prepared, was_hit = self._prepared.get_or_create(pkey, build)
+        return prepared, "hit" if was_hit else "miss"
+
+    def execute(
+        self, query: SelectionQuery, cancel: Optional[CancelToken] = None
+    ) -> QueryResult:
+        """Serve one query synchronously on the calling thread."""
+        t0 = time.perf_counter()
+        token = cancel or CancelToken.with_timeout(query.deadline_s)
+        snapshot = self.snapshot()
+        self._validate(query, snapshot)
+        pf = query.pf or paper_default_pf()
+        pf_key = pf.cache_key()
+        base_key = (
+            snapshot.content_hash,
+            query.solver,
+            pf_key,
+            float(query.tau),
+        )
+        rkey = base_key + ("result", int(query.k), query.candidate_ids)
+        if query.use_cache:
+            cached = self._results.get(rkey)
+            if cached is not None:
+                stats = replace(
+                    cached.stats,
+                    result_cache="hit",
+                    prepared_cache="skip",
+                    select_seconds=0.0,
+                    total_seconds=time.perf_counter() - t0,
+                )
+                return replace(cached, stats=stats)
+        token.check()
+
+        prepared, prepared_provenance = self._prepared_for(
+            snapshot, query, pf, base_key + ("prepared",)
+        )
+        token.check()
+
+        t_sel = time.perf_counter()
+        outcome = prepared.select(
+            query.k,
+            candidate_ids=query.candidate_ids,
+            fast_select=query.fast_select,
+            cancel_check=token.check,
+        )
+        now = time.perf_counter()
+        stats = QueryStats(
+            snapshot_hash=snapshot.content_hash,
+            snapshot_version=snapshot.version,
+            solver=query.solver,
+            k=query.k,
+            tau=query.tau,
+            result_cache="miss" if query.use_cache else "bypass",
+            prepared_cache=prepared_provenance,
+            prepare_seconds=prepared.prepare_seconds,
+            select_seconds=now - t_sel,
+            total_seconds=now - t0,
+            evaluations=prepared.resolved.evaluation.total_evaluations,
+            positions_touched=prepared.resolved.evaluation.positions_touched,
+            selection_evaluations=outcome.evaluations,
+        )
+        result = QueryResult(
+            selected=outcome.selected,
+            objective=outcome.objective,
+            gains=outcome.gains,
+            stats=stats,
+        )
+        # Never cache under a snapshot that was superseded mid-flight:
+        # the entry would be unreachable after the invalidation sweep
+        # anyway, but a sweep racing this insert could miss it.
+        if query.use_cache and self._snapshot is snapshot and not snapshot.superseded:
+            self._results.put(rkey, result)
+        return result
+
+    def submit(self, query: SelectionQuery) -> QueryHandle:
+        """Enqueue one query on the scheduler.
+
+        Raises :class:`~repro.exceptions.EngineSaturatedError` when the
+        in-flight bound is hit.  The returned handle exposes ``result``
+        and ``cancel``; the deadline clock starts now, so queue wait
+        counts against ``deadline_s``.
+        """
+        token = CancelToken.with_timeout(query.deadline_s)
+        return self._scheduler.submit(
+            lambda tok: self.execute(query, cancel=tok), token
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Engine-level counters: caches, scheduler, current snapshot."""
+        out: Dict[str, Any] = {
+            "prepared_cache": self._prepared.stats().as_dict(),
+            "result_cache": self._results.stats().as_dict(),
+            "scheduler": {
+                "max_workers": self._scheduler.max_workers,
+                "max_queued": self._scheduler.max_queued,
+                "in_flight": self._scheduler.in_flight,
+                "submitted": self._scheduler.submitted,
+                "rejected": self._scheduler.rejected,
+            },
+        }
+        if self._snapshot is not None:
+            out["snapshot"] = {
+                "hash": self._snapshot.content_hash[:12],
+                "version": self._snapshot.version,
+                "label": self._snapshot.label,
+            }
+        return out
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the scheduler (running queries finish when ``wait``)."""
+        self._scheduler.shutdown(wait=wait)
+
+    def __enter__(self) -> "SelectionEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+def solve_queries(
+    engine: SelectionEngine, queries: Sequence[SelectionQuery]
+) -> Tuple[QueryResult, ...]:
+    """Submit a batch and gather results in order (helper for benchmarks)."""
+    handles = [engine.submit(q) for q in queries]
+    return tuple(h.result() for h in handles)

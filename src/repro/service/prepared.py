@@ -1,0 +1,135 @@
+"""Prepared instances: resolve once, select many times.
+
+A :class:`PreparedInstance` is the serving-side unit of amortisation: the
+influence table for one ``(snapshot, solver, PF, τ)`` configuration,
+resolved once through the solver's :meth:`~repro.solvers.Solver.resolve`
+layer, plus the CSR :class:`~repro.solvers.CoverageMatrix` densification
+built lazily on the first fast-path selection.  Queries that differ only
+in ``k``, kernel knobs or candidate mask reuse all of it.
+
+Candidate-mask queries exploit the matrix column structure via
+:meth:`~repro.solvers.CoverageMatrix.restrict` (CSR segment gathering, no
+re-resolution); the scalar path uses
+:meth:`~repro.competition.InfluenceTable.restricted`.  Either way the
+selection is identical to solving the instance whose candidate set *is*
+the subset — the differential suite pins this against direct solver runs.
+
+Thread-safety: after construction the table and matrices are only read;
+``CoverageMatrix.select`` keeps all mutable state (covered masks, CELF
+bounds) in locals, so any number of queries may select concurrently.  The
+lazy matrix builds are double-checked under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple
+
+from ..exceptions import SolverError
+from ..influence import ProbabilityFunction, paper_default_pf
+from ..solvers import ResolvedInstance, Solver
+from ..solvers.coverage import CoverageMatrix
+from ..solvers.selection import CancelCheck, GreedyOutcome, greedy_select
+from .snapshot import DatasetSnapshot
+
+#: Bound on memoised restricted matrices per prepared instance.
+_MAX_RESTRICTED = 32
+
+
+class PreparedInstance:
+    """A resolved ``(snapshot, solver, PF, τ)`` ready to answer queries.
+
+    Args:
+        snapshot: The population version this instance is bound to.
+        solver: A solver supporting resolution-only preparation
+            (:meth:`~repro.solvers.Solver.resolve`).
+        tau: Influence threshold.
+        pf: Distance-decay probability function (paper default if
+            ``None``).
+    """
+
+    def __init__(
+        self,
+        snapshot: DatasetSnapshot,
+        solver: Solver,
+        tau: float,
+        pf: Optional[ProbabilityFunction] = None,
+    ) -> None:
+        self.snapshot = snapshot
+        self.solver_name = solver.name
+        self.tau = tau
+        self.pf = pf or paper_default_pf()
+        self.resolved: ResolvedInstance = solver.resolve(
+            snapshot.dataset, tau, self.pf
+        )
+        self.table = self.resolved.table
+        self.candidate_ids: Tuple[int, ...] = tuple(
+            sorted(c.fid for c in snapshot.dataset.candidates)
+        )
+        self._lock = threading.Lock()
+        self._matrix: Optional[CoverageMatrix] = None
+        self._restricted: "OrderedDict[Tuple[int, ...], CoverageMatrix]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def prepare_seconds(self) -> float:
+        """Wall-clock cost of the resolution this instance amortises."""
+        return self.resolved.timings.get("total", 0.0)
+
+    def matrix(self) -> CoverageMatrix:
+        """The full CSR coverage matrix, built once on first use."""
+        if self._matrix is None:
+            with self._lock:
+                if self._matrix is None:
+                    self._matrix = CoverageMatrix(self.table, self.candidate_ids)
+        return self._matrix
+
+    def _restricted_matrix(self, subset: Tuple[int, ...]) -> CoverageMatrix:
+        with self._lock:
+            cached = self._restricted.get(subset)
+            if cached is not None:
+                self._restricted.move_to_end(subset)
+                return cached
+        sub = self.matrix().restrict(subset)
+        with self._lock:
+            while len(self._restricted) >= _MAX_RESTRICTED:
+                self._restricted.popitem(last=False)
+            self._restricted[subset] = sub
+        return sub
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        k: int,
+        candidate_ids: Optional[Sequence[int]] = None,
+        fast_select: bool = True,
+        cancel_check: CancelCheck = None,
+    ) -> GreedyOutcome:
+        """Greedy ``k``-selection over all candidates or a subset.
+
+        Identical output to running the owning solver's ``solve`` on the
+        (possibly candidate-restricted) instance: same selection order,
+        same bit-exact gains.
+        """
+        if candidate_ids is None:
+            if fast_select:
+                return self.matrix().select(k, cancel_check=cancel_check)
+            return greedy_select(
+                self.table, self.candidate_ids, k, cancel_check=cancel_check
+            )
+        subset = tuple(sorted(set(int(c) for c in candidate_ids)))
+        unknown = set(subset) - set(self.candidate_ids)
+        if unknown:
+            raise SolverError(f"candidate mask references unknown sites {unknown}")
+        if not subset:
+            raise SolverError("candidate mask is empty")
+        if fast_select:
+            return self._restricted_matrix(subset).select(
+                k, cancel_check=cancel_check
+            )
+        return greedy_select(
+            self.table.restricted(set(subset)), subset, k, cancel_check=cancel_check
+        )

@@ -1,0 +1,149 @@
+"""Concurrent query scheduling: thread pool, admission control, deadlines.
+
+The scheduler is deliberately thin: a fixed thread pool plus a queued-work
+bound.  Admission control is synchronous — :meth:`QueryScheduler.submit`
+raises :class:`~repro.exceptions.EngineSaturatedError` the moment the
+backlog reaches ``max_queued``, so overload is pushed back to callers
+instead of growing an unbounded queue.
+
+Deadlines and cancellation are *cooperative*: every query carries a
+:class:`CancelToken` whose :meth:`~CancelToken.check` the engine probes
+between phases and threads into the greedy round loop
+(``cancel_check`` in :func:`repro.solvers.run_selection`).  A fired token
+aborts the query at the next probe with
+:class:`~repro.exceptions.QueryCancelledError` /
+:class:`~repro.exceptions.DeadlineExceededError`; deadlines are measured
+from submission, so time spent queued counts against them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+from ..exceptions import (
+    DeadlineExceededError,
+    EngineSaturatedError,
+    QueryCancelledError,
+)
+
+
+class CancelToken:
+    """Cooperative cancellation + deadline probe for one query."""
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        #: Absolute ``time.monotonic()`` deadline, or ``None``.
+        self.deadline = deadline
+        self._cancelled = False
+
+    @classmethod
+    def with_timeout(cls, seconds: Optional[float]) -> "CancelToken":
+        """A token expiring ``seconds`` from now (no deadline if ``None``)."""
+        return cls(None if seconds is None else time.monotonic() + seconds)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Request cancellation; the query aborts at its next probe."""
+        self._cancelled = True
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed (without raising)."""
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def check(self) -> None:
+        """Raise if the query should stop; called between units of work."""
+        if self._cancelled:
+            raise QueryCancelledError("query cancelled")
+        if self.expired():
+            raise DeadlineExceededError("query deadline exceeded")
+
+
+class QueryHandle:
+    """A submitted query: future plus its cancellation token."""
+
+    def __init__(self, future: "Future[Any]", token: CancelToken) -> None:
+        self._future = future
+        self.token = token
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the query result (re-raising its exception, if any)."""
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> None:
+        """Cancel the query: drop it if still queued, else fire the token."""
+        self.token.cancel()
+        self._future.cancel()
+
+
+class QueryScheduler:
+    """Bounded thread-pool executor for engine queries.
+
+    Args:
+        max_workers: Concurrent query threads.
+        max_queued: Maximum in-flight (queued + running) queries; further
+            submissions raise :class:`EngineSaturatedError`.
+    """
+
+    def __init__(self, max_workers: int = 4, max_queued: int = 64) -> None:
+        if max_workers < 1 or max_queued < 1:
+            raise ValueError("max_workers and max_queued must be >= 1")
+        self.max_workers = max_workers
+        self.max_queued = max_queued
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="mc2ls-serve"
+        )
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.submitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Queries currently queued or running."""
+        with self._lock:
+            return self._in_flight
+
+    def submit(
+        self, fn: Callable[[CancelToken], Any], token: CancelToken
+    ) -> QueryHandle:
+        """Admit and enqueue one query; raises when saturated."""
+        with self._lock:
+            if self._in_flight >= self.max_queued:
+                self.rejected += 1
+                raise EngineSaturatedError(
+                    f"{self._in_flight} queries in flight (max {self.max_queued})"
+                )
+            self._in_flight += 1
+            self.submitted += 1
+
+        def run() -> Any:
+            try:
+                return fn(token)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+            # A future cancelled while queued never runs; its slot is
+            # released by the done-callback below instead.
+
+        future = self._executor.submit(run)
+
+        def on_done(f: "Future[Any]") -> None:
+            if f.cancelled():
+                with self._lock:
+                    self._in_flight -= 1
+
+        future.add_done_callback(on_done)
+        return QueryHandle(future, token)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and optionally wait for running queries."""
+        self._executor.shutdown(wait=wait)

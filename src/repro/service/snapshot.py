@@ -1,0 +1,137 @@
+"""Immutable, content-hashed dataset snapshots for the serving engine.
+
+A :class:`DatasetSnapshot` pins down *one version* of a user/facility
+population: the wrapped :class:`~repro.entities.SpatialDataset`, its
+eagerly built position arena (the CSR packing the batched verification
+kernel reads), and R-trees over the candidate and competitor sites.  The
+content hash covers every coordinate and id in the dataset, so two
+snapshots with equal hashes are interchangeable for any query — which is
+exactly the property the engine's caches key on: a republished population
+gets a new hash, and entries computed under the old one can never be
+served against it.
+
+Supersession is explicit: when the engine publishes a successor, the old
+snapshot is marked superseded and its cache entries are dropped.  The
+:meth:`DatasetSnapshot.from_streaming` bridge turns a live
+:class:`~repro.streaming.StreamingMC2LS` session into a publishable
+version (the session's event counter becomes the snapshot version).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..entities import SpatialDataset
+from ..spatial import RTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..streaming import StreamingMC2LS
+
+
+def dataset_content_hash(dataset: SpatialDataset) -> str:
+    """Deterministic SHA-256 over every id and coordinate in the dataset.
+
+    Users are hashed in dataset order with their full position history;
+    facilities and candidates with their id and location.  Any mutation
+    that could change an influence relationship changes the hash.
+    """
+    h = hashlib.sha256()
+    for user in dataset.users:
+        h.update(np.int64(user.uid).tobytes())
+        h.update(np.ascontiguousarray(user.positions, dtype=np.float64).tobytes())
+    for tag, group in ((b"F", dataset.facilities), (b"C", dataset.candidates)):
+        for v in group:
+            h.update(tag)
+            h.update(np.int64(v.fid).tobytes())
+            h.update(np.float64(v.x).tobytes())
+            h.update(np.float64(v.y).tobytes())
+    return h.hexdigest()
+
+
+class DatasetSnapshot:
+    """One immutable, identifiable version of a serving population.
+
+    Args:
+        dataset: The wrapped problem instance.
+        version: Monotone version number (assigned by the engine at
+            publication when left at 0).
+        label: Human-readable tag for logs and stats.
+
+    Construction eagerly builds the dataset's position arena and the two
+    facility R-trees so the cost is paid once at publication rather than
+    inside the first query.
+    """
+
+    def __init__(
+        self, dataset: SpatialDataset, version: int = 0, label: str = ""
+    ) -> None:
+        self.dataset = dataset
+        self.version = version
+        self.label = label or dataset.name
+        self.content_hash = dataset_content_hash(dataset)
+        self._superseded = threading.Event()
+        # Warm the derived structures queries will need: the CSR position
+        # arena (batched verification) and the site R-trees (pruning).
+        self.arena = dataset.arena
+        self.candidate_rtree = RTree.from_points(
+            (v.location, v) for v in dataset.candidates
+        )
+        self.facility_rtree = RTree.from_points(
+            (v.location, v) for v in dataset.facilities
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def superseded(self) -> bool:
+        """Whether a newer snapshot has replaced this one."""
+        return self._superseded.is_set()
+
+    def supersede(self) -> None:
+        """Mark this snapshot as replaced (idempotent, thread-safe)."""
+        self._superseded.set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(
+        cls, dataset: SpatialDataset, version: int = 0, label: str = ""
+    ) -> "DatasetSnapshot":
+        """Snapshot a batch dataset."""
+        return cls(dataset, version=version, label=label)
+
+    @classmethod
+    def from_streaming(
+        cls,
+        session: "StreamingMC2LS",
+        version: Optional[int] = None,
+        label: str = "",
+    ) -> "DatasetSnapshot":
+        """Publish the current state of a streaming session.
+
+        The surviving population is materialised through
+        ``session.current_dataset()``; the session's ``events_processed``
+        counter supplies the version unless one is given, so successive
+        publications from the same session are naturally ordered.
+        """
+        return cls(
+            session.current_dataset(),
+            version=session.events_processed if version is None else version,
+            label=label or "streaming",
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line summary used in engine stats and the CLI."""
+        return (
+            f"snapshot v{self.version} [{self.content_hash[:12]}] "
+            f"{self.dataset.describe()}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetSnapshot(version={self.version}, "
+            f"hash={self.content_hash[:12]}, label={self.label!r})"
+        )

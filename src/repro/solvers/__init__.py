@@ -1,6 +1,6 @@
 """MC²LS solvers: exact, baseline greedy, adapted k-CIFP and IQT variants."""
 
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .base import MC2LSProblem, PhaseTimer, ResolvedInstance, Solver, SolverResult
 from .baseline import BaselineGreedySolver
 from .budgeted import BudgetedGreedySolver
 from .capacitated import CapacitatedGreedySolver, CapacitatedOutcome
@@ -28,6 +28,7 @@ __all__ = [
     "IQTVariant",
     "MC2LSProblem",
     "PhaseTimer",
+    "ResolvedInstance",
     "Solver",
     "SolverResult",
     "coverage_select",

@@ -85,14 +85,64 @@ class SolverResult:
         return self.timings.get("total", 0.0)
 
 
+@dataclass
+class ResolvedInstance:
+    """Everything a solver computes *before* the selection phase.
+
+    The expensive part of every solver is resolving the influence
+    relationships for a ``(dataset, PF, τ)`` configuration; the greedy
+    phase that consumes them is cheap and parameterised only by ``k``
+    (and optionally a candidate subset).  Splitting the two lets the
+    serving engine (:mod:`repro.service`) resolve once and answer many
+    queries against the same table.
+
+    Attributes:
+        table: The resolved influence relationships (``Ω_c`` / ``F_o``).
+        evaluation: Probability-evaluation counters of the resolution.
+        pruning: Pair-classification counters, when the solver prunes.
+        timings: Per-phase wall-clock seconds of the resolution.
+    """
+
+    table: InfluenceTable
+    evaluation: EvaluationStats
+    pruning: Optional[PruningStats] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
 class Solver(ABC):
-    """Base class for MC²LS solvers."""
+    """Base class for MC²LS solvers.
+
+    Thread-safety contract: a solver instance holds *configuration only*.
+    Every mutable accumulator (:class:`~repro.influence.EvaluationStats`,
+    :class:`~repro.pruning.PruningStats`, phase timers) is created inside
+    :meth:`solve` / :meth:`resolve` per call, so one instance may serve
+    concurrent calls from multiple threads and each returned result
+    carries exactly its own query's counters.  Subclasses must not write
+    to ``self`` during ``solve`` — the serving engine and its two-thread
+    regression test rely on this.
+    """
 
     name: str = "solver"
 
     @abstractmethod
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         """Solve the instance and return the selection with its metrics."""
+
+    def resolve(
+        self,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: Optional[ProbabilityFunction] = None,
+    ) -> ResolvedInstance:
+        """Resolve the influence relationships without selecting.
+
+        Solvers that separate resolution from selection override this;
+        the serving engine only accepts those.  The returned timings
+        include a ``"total"`` entry covering the resolution.
+        """
+        raise SolverError(
+            f"solver {self.name!r} does not support resolution-only preparation"
+        )
 
 
 def resolve_all_pairs(

@@ -9,9 +9,19 @@ against: its cost is ``O((n + m)·u·r + 2kn)``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..competition import InfluenceTable
-from ..influence import InfluenceEvaluator
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult, resolve_all_pairs
+from ..entities import SpatialDataset
+from ..influence import InfluenceEvaluator, ProbabilityFunction, paper_default_pf
+from .base import (
+    MC2LSProblem,
+    PhaseTimer,
+    ResolvedInstance,
+    Solver,
+    SolverResult,
+    resolve_all_pairs,
+)
 from .selection import run_selection
 
 
@@ -36,30 +46,49 @@ class BaselineGreedySolver(Solver):
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         timer = PhaseTimer()
-        dataset = problem.dataset
+        resolved = self._resolve(timer, problem.dataset, problem.tau, problem.pf)
+        with timer.mark("greedy"):
+            outcome = run_selection(
+                resolved.table,
+                [c.fid for c in problem.dataset.candidates],
+                problem.k,
+                fast_select=self.fast_select,
+            )
+        return SolverResult(
+            selected=outcome.selected,
+            objective=outcome.objective,
+            table=resolved.table,
+            timings=timer.finish(),
+            evaluation=resolved.evaluation,
+            gains=outcome.gains,
+        )
+
+    def resolve(
+        self,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: Optional[ProbabilityFunction] = None,
+    ) -> ResolvedInstance:
+        """Brute-force resolution only: the full influence table."""
+        timer = PhaseTimer()
+        resolved = self._resolve(timer, dataset, tau, pf or paper_default_pf())
+        resolved.timings = timer.finish()
+        return resolved
+
+    def _resolve(
+        self,
+        timer: PhaseTimer,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: ProbabilityFunction,
+    ) -> ResolvedInstance:
         # The baseline deliberately skips early stopping: it represents the
         # no-optimisation yardstick of the paper's complexity analysis.
-        evaluator = InfluenceEvaluator(problem.pf, problem.tau, early_stopping=False)
-
+        evaluator = InfluenceEvaluator(pf, tau, early_stopping=False)
         with timer.mark("influence"):
             omega_c, f_o = resolve_all_pairs(
                 dataset, evaluator, batch_verify=self.batch_verify
             )
-
-        table = InfluenceTable(omega_c, f_o)
-        with timer.mark("greedy"):
-            outcome = run_selection(
-                table,
-                [c.fid for c in dataset.candidates],
-                problem.k,
-                fast_select=self.fast_select,
-            )
-
-        return SolverResult(
-            selected=outcome.selected,
-            objective=outcome.objective,
-            table=table,
-            timings=timer.finish(),
-            evaluation=evaluator.stats,
-            gains=outcome.gains,
+        return ResolvedInstance(
+            table=InfluenceTable(omega_c, f_o), evaluation=evaluator.stats
         )

@@ -41,7 +41,7 @@ import numpy as np
 
 from ..competition import CompetitionModel, EvenlySplitModel, InfluenceTable
 from ..exceptions import SolverError
-from .selection import GreedyOutcome
+from .selection import CancelCheck, GreedyOutcome
 
 # Sequential summation of m non-negative doubles is off by at most
 # (m-1)·u·sum with u = 2^-53; one extra power of two of slack covers the
@@ -122,6 +122,41 @@ class CoverageMatrix:
         covered[self.col[self.indptr[j] : self.indptr[j + 1]]] = True
 
     # ------------------------------------------------------------------
+    def restrict(self, candidate_ids: Sequence[int]) -> "CoverageMatrix":
+        """A sub-matrix over a candidate subset, sharing the user arrays.
+
+        Exploits the CSR column structure: the subset's segments are
+        gathered out of ``col`` by their ``indptr`` slices; ``user_ids``
+        and ``weights`` are shared (a user covered only by out-of-subset
+        candidates simply never appears in any kept segment).  Selection
+        over the restricted matrix is identical — including exact
+        ``fsum`` gains — to building a fresh matrix for the subset,
+        because every kept segment carries the same weight multiset.
+        """
+        subset = tuple(sorted(set(int(c) for c in candidate_ids)))
+        unknown = set(subset) - set(self.candidate_ids)
+        if unknown:
+            raise SolverError(f"cannot restrict to unknown candidates {unknown}")
+        pos = {cid: j for j, cid in enumerate(self.candidate_ids)}
+        js = [pos[cid] for cid in subset]
+        sub = CoverageMatrix.__new__(CoverageMatrix)
+        sub.table = self.table
+        sub.candidate_ids = subset
+        sub.user_ids = self.user_ids
+        sub.weights = self.weights
+        sub.indptr = np.zeros(len(subset) + 1, dtype=np.int64)
+        segments: List[np.ndarray] = []
+        for i, j in enumerate(js):
+            seg = self.col[self.indptr[j] : self.indptr[j + 1]]
+            segments.append(seg)
+            sub.indptr[i + 1] = sub.indptr[i] + len(seg)
+        sub.col = (
+            np.concatenate(segments) if segments else np.zeros(0, dtype=np.int64)
+        )
+        sub._entry_w = sub.weights[sub.col]
+        return sub
+
+    # ------------------------------------------------------------------
     def screened_gains(
         self, js: np.ndarray, covered: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -164,7 +199,7 @@ class CoverageMatrix:
         return math.fsum(self.weights[live].tolist())
 
     # ------------------------------------------------------------------
-    def select(self, k: int) -> GreedyOutcome:
+    def select(self, k: int, cancel_check: CancelCheck = None) -> GreedyOutcome:
         """Greedy ``k``-selection, identical to :func:`greedy_select`.
 
         Each round refreshes candidates lazily in CELF bound order —
@@ -186,6 +221,8 @@ class CoverageMatrix:
         selected: List[int] = []
         gains: List[float] = []
         for rnd in range(k):
+            if cancel_check is not None:
+                cancel_check()
             best_flb = -np.inf
             chunk = n if rnd == 0 else 1
             while True:
@@ -225,6 +262,8 @@ def coverage_select(
     candidate_ids: Sequence[int],
     k: int,
     model: CompetitionModel | None = None,
+    cancel_check: CancelCheck = None,
 ) -> GreedyOutcome:
     """One-shot CSR-kernel greedy selection (builds the matrix inline)."""
-    return CoverageMatrix(table, candidate_ids, model=model).select(k)
+    matrix = CoverageMatrix(table, candidate_ids, model=model)
+    return matrix.select(k, cancel_check=cancel_check)

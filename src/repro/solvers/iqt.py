@@ -20,12 +20,25 @@ from __future__ import annotations
 import enum
 from typing import Dict, FrozenSet, Iterable, Set
 
+from typing import Optional
+
 from ..competition import InfluenceTable
-from ..entities import AbstractFacility
-from ..influence import BatchInfluenceEvaluator, InfluenceEvaluator
+from ..entities import AbstractFacility, SpatialDataset
+from ..influence import (
+    BatchInfluenceEvaluator,
+    InfluenceEvaluator,
+    ProbabilityFunction,
+    paper_default_pf,
+)
 from ..pruning import PinocchioPruner, PruningStats
 from ..spatial import IQuadTree
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .base import (
+    MC2LSProblem,
+    PhaseTimer,
+    ResolvedInstance,
+    Solver,
+    SolverResult,
+)
 from .selection import run_selection
 
 
@@ -77,17 +90,51 @@ class IQTSolver(Solver):
     # ------------------------------------------------------------------
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         timer = PhaseTimer()
-        dataset = problem.dataset
-        evaluator = InfluenceEvaluator(
-            problem.pf, problem.tau, early_stopping=self.early_stopping
+        resolved = self._resolve(timer, problem.dataset, problem.tau, problem.pf)
+        with timer.mark("greedy"):
+            outcome = run_selection(
+                resolved.table,
+                [c.fid for c in problem.dataset.candidates],
+                problem.k,
+                fast_select=self.fast_select,
+            )
+        return SolverResult(
+            selected=outcome.selected,
+            objective=outcome.objective,
+            table=resolved.table,
+            timings=timer.finish(),
+            evaluation=resolved.evaluation,
+            pruning=resolved.pruning,
+            gains=outcome.gains,
         )
+
+    def resolve(
+        self,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: Optional[ProbabilityFunction] = None,
+    ) -> ResolvedInstance:
+        """Phases 1–3 only: the influence table for ``(dataset, PF, τ)``."""
+        timer = PhaseTimer()
+        resolved = self._resolve(timer, dataset, tau, pf or paper_default_pf())
+        resolved.timings = timer.finish()
+        return resolved
+
+    def _resolve(
+        self,
+        timer: PhaseTimer,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: ProbabilityFunction,
+    ) -> ResolvedInstance:
+        evaluator = InfluenceEvaluator(pf, tau, early_stopping=self.early_stopping)
 
         with timer.mark("index"):
             tree = IQuadTree(
                 dataset.users,
                 d_hat=self.d_hat,
-                tau=problem.tau,
-                pf=problem.pf,
+                tau=tau,
+                pf=pf,
                 region=dataset.region,
                 exact_rounded=self.exact_rounded,
             )
@@ -106,7 +153,7 @@ class IQTSolver(Solver):
             use_ia = self.variant is IQTVariant.IQT_PINO
             with timer.mark("nib"):
                 extra_confirmed = self._apply_nib(
-                    problem, confirmed, to_verify, use_ia=use_ia
+                    dataset, tau, pf, confirmed, to_verify, use_ia=use_ia
                 )
                 if use_ia:
                     for v, uids in extra_confirmed.items():
@@ -123,8 +170,8 @@ class IQTSolver(Solver):
         users_by_uid = {u.uid: u for u in dataset.users}
         batch = (
             BatchInfluenceEvaluator(
-                problem.pf,
-                problem.tau,
+                pf,
+                tau,
                 early_stopping=self.early_stopping,
                 stats=evaluator.stats,
             )
@@ -173,29 +220,18 @@ class IQTSolver(Solver):
             verify=n_verify,
         )
 
-        table = InfluenceTable(omega_c, f_o)
-        with timer.mark("greedy"):
-            outcome = run_selection(
-                table,
-                [c.fid for c in dataset.candidates],
-                problem.k,
-                fast_select=self.fast_select,
-            )
-
-        return SolverResult(
-            selected=outcome.selected,
-            objective=outcome.objective,
-            table=table,
-            timings=timer.finish(),
+        return ResolvedInstance(
+            table=InfluenceTable(omega_c, f_o),
             evaluation=evaluator.stats,
             pruning=pruning,
-            gains=outcome.gains,
         )
 
     # ------------------------------------------------------------------
     def _apply_nib(
         self,
-        problem: MC2LSProblem,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: ProbabilityFunction,
         confirmed: Dict[AbstractFacility, FrozenSet[int]],
         to_verify: Dict[AbstractFacility, Set[int]],
         use_ia: bool,
@@ -208,13 +244,8 @@ class IQTSolver(Solver):
         ``use_ia`` is set, users whose IA region contains the facility are
         returned for direct confirmation (IQT-PINO).
         """
-        dataset = problem.dataset
-        pruner_c = PinocchioPruner(
-            dataset.candidates, problem.tau, problem.pf, use_ia=use_ia
-        )
-        pruner_f = PinocchioPruner(
-            dataset.facilities, problem.tau, problem.pf, use_ia=use_ia
-        )
+        pruner_c = PinocchioPruner(dataset.candidates, tau, pf, use_ia=use_ia)
+        pruner_f = PinocchioPruner(dataset.facilities, tau, pf, use_ia=use_ia)
         nib_possible: Dict[AbstractFacility, Set[int]] = {
             v: set() for v in dataset.abstract_facilities
         }

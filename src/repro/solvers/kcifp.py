@@ -11,12 +11,19 @@ no candidate can reach never contribute to any ``cinf`` and are skipped.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from ..competition import InfluenceTable
-from ..influence import InfluenceEvaluator
+from ..entities import SpatialDataset
+from ..influence import InfluenceEvaluator, ProbabilityFunction, paper_default_pf
 from ..pruning import PinocchioPruner, PruningStats
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .base import (
+    MC2LSProblem,
+    PhaseTimer,
+    ResolvedInstance,
+    Solver,
+    SolverResult,
+)
 from .selection import run_selection
 
 
@@ -41,15 +48,49 @@ class AdaptedKCIFPSolver(Solver):
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
         timer = PhaseTimer()
-        dataset = problem.dataset
-        evaluator = InfluenceEvaluator(
-            problem.pf, problem.tau, early_stopping=self.early_stopping
+        resolved = self._resolve(timer, problem.dataset, problem.tau, problem.pf)
+        with timer.mark("greedy"):
+            outcome = run_selection(
+                resolved.table,
+                [c.fid for c in problem.dataset.candidates],
+                problem.k,
+                fast_select=self.fast_select,
+            )
+        return SolverResult(
+            selected=outcome.selected,
+            objective=outcome.objective,
+            table=resolved.table,
+            timings=timer.finish(),
+            evaluation=resolved.evaluation,
+            pruning=resolved.pruning,
+            gains=outcome.gains,
         )
+
+    def resolve(
+        self,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: Optional[ProbabilityFunction] = None,
+    ) -> ResolvedInstance:
+        """IA/NIB pruning + verification only: the influence table."""
+        timer = PhaseTimer()
+        resolved = self._resolve(timer, dataset, tau, pf or paper_default_pf())
+        resolved.timings = timer.finish()
+        return resolved
+
+    def _resolve(
+        self,
+        timer: PhaseTimer,
+        dataset: SpatialDataset,
+        tau: float,
+        pf: ProbabilityFunction,
+    ) -> ResolvedInstance:
+        evaluator = InfluenceEvaluator(pf, tau, early_stopping=self.early_stopping)
         pruning = PruningStats()
 
         with timer.mark("index"):
-            pruner_c = PinocchioPruner(dataset.candidates, problem.tau, problem.pf)
-            pruner_f = PinocchioPruner(dataset.facilities, problem.tau, problem.pf)
+            pruner_c = PinocchioPruner(dataset.candidates, tau, pf)
+            pruner_f = PinocchioPruner(dataset.facilities, tau, pf)
 
         omega_c: Dict[int, Set[int]] = {c.fid: set() for c in dataset.candidates}
         f_o: Dict[int, Set[int]] = {}
@@ -85,21 +126,8 @@ class AdaptedKCIFPSolver(Solver):
         pruning.merge(pruner_c.stats)
         pruning.merge(pruner_f.stats)
 
-        table = InfluenceTable(omega_c, f_o)
-        with timer.mark("greedy"):
-            outcome = run_selection(
-                table,
-                [c.fid for c in dataset.candidates],
-                problem.k,
-                fast_select=self.fast_select,
-            )
-
-        return SolverResult(
-            selected=outcome.selected,
-            objective=outcome.objective,
-            table=table,
-            timings=timer.finish(),
+        return ResolvedInstance(
+            table=InfluenceTable(omega_c, f_o),
             evaluation=evaluator.stats,
             pruning=pruning,
-            gains=outcome.gains,
         )

@@ -26,10 +26,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from ..competition import CompetitionModel, EvenlySplitModel, InfluenceTable
 from ..exceptions import SolverError
+
+#: Cooperative cancellation hook: called at the top of every greedy round;
+#: raises (e.g. :class:`~repro.exceptions.DeadlineExceededError`) to abort.
+CancelCheck = Optional[Callable[[], None]]
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,7 @@ def greedy_select(
     candidate_ids: Sequence[int],
     k: int,
     model: CompetitionModel | None = None,
+    cancel_check: CancelCheck = None,
 ) -> GreedyOutcome:
     """Paper-faithful greedy: recompute every candidate's gain each round."""
     if k < 1 or k > len(candidate_ids):
@@ -59,6 +64,8 @@ def greedy_select(
     gains: List[float] = []
     evaluations = 0
     for _ in range(k):
+        if cancel_check is not None:
+            cancel_check()
         best_cid = None
         best_gain = -1.0
         for cid in remaining:
@@ -80,6 +87,7 @@ def lazy_greedy_select(
     candidate_ids: Sequence[int],
     k: int,
     model: CompetitionModel | None = None,
+    cancel_check: CancelCheck = None,
 ) -> GreedyOutcome:
     """CELF lazy greedy: identical output, far fewer gain evaluations.
 
@@ -104,6 +112,8 @@ def lazy_greedy_select(
     selected: List[int] = []
     gains: List[float] = []
     for round_no in range(1, k + 1):
+        if cancel_check is not None:
+            cancel_check()
         while True:
             neg_gain, cid, computed_at = heapq.heappop(heap)
             if computed_at == round_no:
@@ -123,6 +133,7 @@ def run_selection(
     k: int,
     model: CompetitionModel | None = None,
     fast_select: bool = True,
+    cancel_check: CancelCheck = None,
 ) -> GreedyOutcome:
     """Run the greedy phase through the CSR kernel or the scalar loop.
 
@@ -130,10 +141,16 @@ def run_selection(
     on (the default), selection runs through
     :class:`~repro.solvers.coverage.CoverageMatrix`; off restores the
     scalar recompute-every-round greedy for ablations.  Both paths
-    return the identical ``selected`` tuple and gains.
+    return the identical ``selected`` tuple and gains.  ``cancel_check``
+    (when given) runs at the top of every greedy round on either path;
+    the serving engine passes its deadline/cancellation probe here.
     """
     if fast_select:
         from .coverage import coverage_select
 
-        return coverage_select(table, candidate_ids, k, model=model)
-    return greedy_select(table, candidate_ids, k, model=model)
+        return coverage_select(
+            table, candidate_ids, k, model=model, cancel_check=cancel_check
+        )
+    return greedy_select(
+        table, candidate_ids, k, model=model, cancel_check=cancel_check
+    )

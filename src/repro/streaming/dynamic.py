@@ -213,6 +213,20 @@ class StreamingMC2LS:
             name="streaming-snapshot",
         )
 
+    def snapshot(self, label: str = ""):
+        """Publish the current population as a serving-engine snapshot.
+
+        Returns a :class:`~repro.service.DatasetSnapshot` of the
+        surviving users, versioned by ``events_processed`` — hand it to
+        :meth:`~repro.service.SelectionEngine.publish` (or call
+        ``engine.publish_streaming(session)`` directly) after a batch of
+        events to make the new population queryable.  Imported lazily to
+        keep the streaming module importable without the service layer.
+        """
+        from ..service import DatasetSnapshot
+
+        return DatasetSnapshot.from_streaming(self, label=label)
+
     @staticmethod
     def from_dataset(dataset: SpatialDataset, k: int, tau: float = 0.7,
                      pf: Optional[ProbabilityFunction] = None) -> "StreamingMC2LS":

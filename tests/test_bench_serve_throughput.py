@@ -1,0 +1,56 @@
+"""Smoke test: the serving-throughput benchmark must run and record.
+
+Invokes ``benchmarks/bench_serve_throughput.py --smoke`` as a subprocess
+and asserts the engine/direct identity check is green and the warm-cache
+speedup clears the smoke floor.  The smoke run writes to a temporary
+path so the committed full-scale ``BENCH_serve_throughput.json`` at the
+repo root is not overwritten by test runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_smoke_records_trajectory_point(tmp_path):
+    out_path = tmp_path / "BENCH_serve_throughput.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_serve_throughput.py"),
+            "--smoke",
+            "--out",
+            str(out_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out_path.exists()
+    payload = json.loads(out_path.read_text())
+    assert payload["benchmark"] == "serve_throughput"
+    assert payload["n_queries"] >= 8
+    assert payload["results_identical"] is True
+    assert payload["speedup_warm_1t"] >= 5.0
+
+
+def test_committed_trajectory_point_is_full_scale():
+    """The recorded repo-root point meets the acceptance floor."""
+    payload = json.loads(
+        (REPO_ROOT / "BENCH_serve_throughput.json").read_text()
+    )
+    assert payload["n_users"] >= 800
+    assert payload["n_candidates"] >= 60
+    assert payload["n_queries"] >= 16
+    assert payload["results_identical"] is True
+    assert payload["speedup_warm_1t"] >= 5.0
+    assert payload["speedup_warm_4t"] >= 5.0

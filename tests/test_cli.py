@@ -46,6 +46,26 @@ class TestSolve:
         assert code == 0
         assert "k-cifp" in capsys.readouterr().out
 
+    def test_kernel_flags_fall_back_to_scalar(self, capsys):
+        base = ["solve", "--users", "80", "--candidates", "10",
+                "--facilities", "10", "--k", "2"]
+        code = main(base)
+        assert code == 0
+        default_out = capsys.readouterr().out
+        assert "kernels: batch-verify+csr-select" in default_out
+
+        code = main(base + ["--no-batch-verify", "--no-fast-select"])
+        assert code == 0
+        scalar_out = capsys.readouterr().out
+        assert "kernels: scalar" in scalar_out
+
+        # Knobs change the kernels, never the selection.
+        pick = lambda text: [
+            line for line in text.splitlines() if "cinf(G)" in line
+        ]
+        assert pick(default_out)[0].split("solver")[0] == \
+            pick(scalar_out)[0].split("solver")[0]
+
 
 class TestCompare:
     def test_compare_agreement(self, capsys):
@@ -59,7 +79,39 @@ class TestCompare:
         out = capsys.readouterr().out
         assert code == 0
         assert "iqt" in out and "k-cifp" in out
+        assert "kernels" in out and "batch-verify+csr-select" in out
         assert "NO" not in out
+
+    def test_compare_scalar_kernels_still_agree(self, capsys):
+        code = main(
+            [
+                "compare", "--users", "80", "--candidates", "10",
+                "--facilities", "12", "--k", "2", "--skip-baseline",
+                "--no-batch-verify", "--no-fast-select",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "batch-verify" not in out
+        assert "scalar" in out
+        assert "NO" not in out
+
+
+class TestServe:
+    def test_serve_warm_passes_hit_cache(self, capsys):
+        code = main(
+            [
+                "serve", "--users", "80", "--candidates", "10",
+                "--facilities", "12", "--k-max", "3", "--taus", "0.6",
+                "--threads", "2", "--repeat", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result_hits" in out
+        assert "prepared_cache" in out and "result_cache" in out
+        # The second pass must be answered from the result cache.
+        assert "hit rate" in out
 
 
 class TestStats:

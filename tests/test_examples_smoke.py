@@ -42,6 +42,12 @@ class TestFastExamples:
         assert "budget sizing" in out
         assert "marginal gain falls below" in out
 
+    def test_serving_engine(self):
+        out = run_example("serving_engine.py")
+        assert "What-if sweep" in out
+        assert "bit-identical" in out
+        assert "invalidated" in out
+
     def test_quickstart_deterministic(self):
         a = run_example("quickstart.py")
         b = run_example("quickstart.py")

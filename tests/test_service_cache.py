@@ -1,0 +1,99 @@
+"""LRU cache semantics: bounds, counters, snapshot invalidation."""
+
+import threading
+
+import pytest
+
+from repro.service import LRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get(("h", 1)) is None
+        cache.put(("h", 1), "a")
+        assert cache.get(("h", 1)) == "a"
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_eviction_is_lru_order(self):
+        cache = LRUCache(2)
+        cache.put(("h", 1), "a")
+        cache.put(("h", 2), "b")
+        cache.get(("h", 1))  # refresh 1 -> 2 becomes LRU
+        cache.put(("h", 3), "c")
+        assert cache.get(("h", 2)) is None
+        assert cache.get(("h", 1)) == "a"
+        assert cache.get(("h", 3)) == "c"
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = LRUCache(2)
+        cache.put(("h", 1), "a")
+        cache.put(("h", 2), "b")
+        cache.put(("h", 1), "a2")  # refresh, no eviction
+        cache.put(("h", 3), "c")  # evicts 2, not 1
+        assert cache.get(("h", 1)) == "a2"
+        assert cache.get(("h", 2)) is None
+
+    def test_get_or_create(self):
+        cache = LRUCache(4)
+        calls = []
+        value, hit = cache.get_or_create(("h", 1), lambda: calls.append(1) or "v")
+        assert (value, hit) == ("v", False)
+        value, hit = cache.get_or_create(("h", 1), lambda: calls.append(1) or "w")
+        assert (value, hit) == ("v", True)
+        assert len(calls) == 1
+
+
+class TestInvalidation:
+    def test_invalidate_snapshot_sweeps_only_that_hash(self):
+        cache = LRUCache(8)
+        for i in range(3):
+            cache.put(("old", i), i)
+        cache.put(("new", 0), "keep")
+        assert cache.invalidate_snapshot("old") == 3
+        assert len(cache) == 1
+        assert cache.get(("new", 0)) == "keep"
+        assert cache.stats().invalidations == 3
+
+    def test_clear(self):
+        cache = LRUCache(8)
+        cache.put(("h", 1), 1)
+        cache.put(("h", 2), 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().invalidations == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        cache = LRUCache(32)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(300):
+                    key = ("h", (tid * 7 + i) % 40)
+                    if i % 3 == 0:
+                        cache.put(key, i)
+                    elif i % 7 == 0:
+                        cache.invalidate_snapshot("h")
+                    else:
+                        cache.get(key)
+                    cache.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32

@@ -1,0 +1,98 @@
+"""Thread-safety of solvers and the engine under concurrent queries.
+
+The solver contract (see ``repro.solvers.base``): instances hold
+configuration only; all mutable per-solve state (evaluators, stats,
+pruning counters) is created inside ``solve()``/``resolve()``.  One
+shared instance must therefore produce bit-identical results *and*
+bit-identical per-result work counters when driven from multiple
+threads.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import SelectionEngine, SelectionQuery, solve_queries
+from repro.solvers import (
+    AdaptedKCIFPSolver,
+    BaselineGreedySolver,
+    IQTSolver,
+    MC2LSProblem,
+)
+
+from .conftest import build_instance
+
+
+def _fingerprint(result):
+    return (
+        result.selected,
+        result.gains,
+        result.objective,
+        result.evaluation.total_evaluations,
+        result.evaluation.positions_touched,
+    )
+
+
+@pytest.mark.parametrize(
+    "make_solver",
+    [BaselineGreedySolver, AdaptedKCIFPSolver, IQTSolver],
+    ids=["baseline", "k-cifp", "iqt"],
+)
+def test_shared_solver_instance_two_threads(make_solver):
+    dataset = build_instance(seed=21, n_users=35, n_candidates=12)
+    solver = make_solver()
+    problems = [
+        MC2LSProblem(dataset, k=3, tau=0.6),
+        MC2LSProblem(dataset, k=5, tau=0.7),
+    ]
+    serial = [_fingerprint(solver.solve(p)) for p in problems]
+
+    # The same shared instance, both problems solved repeatedly from two
+    # threads at once.  A barrier maximises the overlap window.
+    barrier = threading.Barrier(2)
+
+    def run(problem):
+        barrier.wait(timeout=30)
+        return [_fingerprint(solver.solve(problem)) for _ in range(3)]
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(run, p) for p in problems]
+        concurrent = [f.result(timeout=120) for f in futures]
+
+    for expected, got in zip(serial, concurrent):
+        assert all(fp == expected for fp in got)
+
+
+def test_engine_concurrent_queries_consistent():
+    dataset = build_instance(seed=22, n_users=35, n_candidates=12)
+    queries = [
+        SelectionQuery(k=k, tau=tau, use_cache=False)
+        for tau in (0.6, 0.7)
+        for k in (2, 4)
+    ]
+    with SelectionEngine(dataset, max_workers=4, max_queued=64) as engine:
+        reference = [engine.execute(q) for q in queries]
+        # Three concurrent passes over the same batch, caches disabled so
+        # every pass recomputes from scratch on worker threads.
+        for _ in range(3):
+            results = solve_queries(engine, queries)
+            for ref, got in zip(reference, results):
+                assert got.selected == ref.selected
+                assert got.gains == ref.gains
+                assert got.objective == ref.objective
+                assert got.stats.evaluations == ref.stats.evaluations
+                assert (
+                    got.stats.positions_touched == ref.stats.positions_touched
+                )
+
+
+def test_engine_concurrent_warm_cache_consistent():
+    dataset = build_instance(seed=23, n_users=30, n_candidates=10)
+    query = SelectionQuery(k=3, tau=0.65)
+    with SelectionEngine(dataset, max_workers=4) as engine:
+        cold = engine.execute(query)
+        results = solve_queries(engine, [query] * 16)
+        assert all(r.selected == cold.selected for r in results)
+        assert all(r.gains == cold.gains for r in results)
+        assert engine.stats()["result_cache"]["hits"] >= 16
