@@ -156,6 +156,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _churn_session(session, n_moves: int, seed: int) -> None:
+    """Jitter ``n_moves`` users' position histories in a streaming session."""
+    import numpy as np
+
+    from .entities import MovingUser
+
+    rng = np.random.default_rng(seed)
+    uids = sorted(session._users)
+    for uid in rng.choice(uids, size=min(n_moves, len(uids)), replace=False):
+        user = session._users[int(uid)]
+        moved = user.positions + rng.normal(0.0, 0.5, user.positions.shape)
+        session.update_user(MovingUser(int(uid), moved))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import SelectionEngine, SelectionQuery
 
@@ -173,12 +187,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for tau in taus
         for k in ks
     ]
-    with SelectionEngine(dataset, max_workers=args.threads) as engine:
+    session = None
+    first: object = dataset
+    if args.churn:
+        from .streaming import StreamingMC2LS
+
+        session = StreamingMC2LS.from_dataset(dataset, k=max(ks))
+        first = session.snapshot()
+    with SelectionEngine(
+        first, max_workers=args.threads, incremental=not args.no_incremental
+    ) as engine:
         print(engine.snapshot().describe())
         print(f"{len(queries)} queries x {args.repeat} passes "
               f"on {args.threads} worker thread(s)\n")
         rows = []
         for pass_no in range(1, args.repeat + 1):
+            republish = 0.0
+            if session is not None and pass_no > 1:
+                t0 = time.perf_counter()
+                _churn_session(session, args.churn, seed=args.seed + pass_no)
+                engine.publish(session.snapshot())
+                republish = time.perf_counter() - t0
             t0 = time.perf_counter()
             handles = [engine.submit(q) for q in queries]
             results = [h.result() for h in handles]
@@ -189,6 +218,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "pass": pass_no,
                     "queries": len(results),
                     "result_hits": hits,
+                    "republish_s": republish,
                     "wall_s": elapsed,
                     "qps": len(results) / elapsed if elapsed > 0 else float("inf"),
                 }
@@ -199,6 +229,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             c = stats[cache]
             print(f"\n{cache}: {c['hits']} hits / {c['misses']} misses "
                   f"(hit rate {c['hit_rate']:.1%}), {c['evictions']} evictions")
+        inc = stats["incremental"]
+        print(f"\nincremental republish: enabled={inc['enabled']} "
+              f"patched={inc['patched']} skipped={inc['skipped']} "
+              f"failed={inc['failed']}")
     return 0
 
 
@@ -257,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--repeat", type=int, default=2,
                        help="passes over the query batch; later passes "
                             "exercise the warm caches (default: 2)")
+    serve.add_argument("--churn", type=int, default=0, metavar="N",
+                       help="move N users and republish between passes "
+                            "(streaming write traffic; default: 0)")
+    serve.add_argument("--no-incremental", action="store_true",
+                       help="drop prepared instances on republish instead "
+                            "of delta-patching them (ablation; results are "
+                            "identical)")
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="dataset distribution statistics")

@@ -17,7 +17,29 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+
+class _Build:
+    """In-flight ``get_or_create`` factory run for one key.
+
+    The owning thread publishes ``value`` and sets ``event``; waiters
+    block on the event instead of running the factory again.  A failed
+    factory leaves ``value`` unset (``ok`` False) so waiters retry —
+    each caller that ends up building gets its own exception.
+    ``doomed`` is set by :meth:`LRUCache.invalidate_snapshot` racing the
+    build: the finished value is still handed to callers (keys embed the
+    content hash, so it is correct for the request that asked) but never
+    inserted into the cache, which would resurrect a swept snapshot.
+    """
+
+    __slots__ = ("event", "value", "ok", "doomed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.ok = False
+        self.doomed = False
 
 
 @dataclass(frozen=True)
@@ -63,6 +85,7 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._builds: Dict[Hashable, _Build] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -85,45 +108,100 @@ class LRUCache:
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh an entry, evicting the LRU entry when full."""
         with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                self._data[key] = value
-                return
-            while len(self._data) >= self.maxsize:
-                self._data.popitem(last=False)
-                self._evictions += 1
+            self._put_locked(key, value)
+
+    def _put_locked(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
             self._data[key] = value
+            return
+        while len(self._data) >= self.maxsize:
+            self._data.popitem(last=False)
+            self._evictions += 1
+        self._data[key] = value
 
     def get_or_create(self, key: Hashable, factory) -> Tuple[Any, bool]:
         """Return ``(value, was_hit)``, creating and inserting on a miss.
 
-        The factory runs *outside* the cache lock so slow preparations do
-        not serialise unrelated lookups; two threads racing on the same
-        missing key may both build, with the second insert winning —
-        acceptable because values for equal keys are interchangeable.
+        The factory runs *outside* the cache lock — slow preparations do
+        not serialise unrelated lookups — and at most once per missing
+        key at a time: concurrent callers racing on the same key block
+        on the owner's in-flight build and share its value (counted as
+        hits; only the thread that ran the factory reports a miss).  A
+        factory that raises releases the key so one waiter retries the
+        build.  Builds overlapping an :meth:`invalidate_snapshot` of
+        their content hash still return their value to callers but skip
+        the cache insert (see :class:`_Build`).
         """
-        value = self.get(key)
-        if value is not None:
-            return value, True
-        value = factory()
-        self.put(key, value)
-        return value, False
+        while True:
+            with self._lock:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    self._hits += 1
+                    return self._data[key], True
+                build = self._builds.get(key)
+                if build is None:
+                    build = _Build()
+                    self._builds[key] = build
+                    self._misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                build.event.wait()
+                if not build.ok:
+                    continue  # owner's factory raised — race to rebuild
+                with self._lock:
+                    self._hits += 1
+                return build.value, True
+            try:
+                value = factory()
+            except BaseException:
+                with self._lock:
+                    self._builds.pop(key, None)
+                build.event.set()
+                raise
+            with self._lock:
+                self._builds.pop(key, None)
+                build.value = value
+                build.ok = True
+                if not build.doomed:
+                    self._put_locked(key, value)
+            build.event.set()
+            return value, False
 
     # ------------------------------------------------------------------
+    def entries_for(self, content_hash: str) -> List[Tuple[Hashable, Any]]:
+        """``(key, value)`` pairs keyed under ``content_hash`` (a snapshot;
+        recency is not refreshed).  Used by the engine's incremental
+        republish to migrate prepared instances."""
+        with self._lock:
+            return [(k, v) for k, v in self._data.items() if k[0] == content_hash]
+
     def invalidate_snapshot(self, content_hash: str) -> int:
-        """Drop every entry keyed under ``content_hash``; return the count."""
+        """Drop every entry keyed under ``content_hash``; return the count.
+
+        In-flight ``get_or_create`` builds for the hash are marked doomed
+        so their completed values never re-enter the cache after this
+        sweep — a republish cannot be outraced by a slow preparation.
+        """
         with self._lock:
             doomed = [k for k in self._data if k[0] == content_hash]
             for k in doomed:
                 del self._data[k]
             self._invalidations += len(doomed)
+            for k, build in self._builds.items():
+                if k[0] == content_hash:
+                    build.doomed = True
             return len(doomed)
 
     def clear(self) -> None:
-        """Drop all entries (counted as invalidations)."""
+        """Drop all entries (counted as invalidations); doom in-flight builds."""
         with self._lock:
             self._invalidations += len(self._data)
             self._data.clear()
+            for build in self._builds.values():
+                build.doomed = True
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

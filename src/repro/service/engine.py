@@ -50,6 +50,13 @@ from .snapshot import DatasetSnapshot
 #: Solvers the engine can prepare with, by CLI-compatible name.  Each
 #: factory takes the query's ``batch_verify`` knob; solvers without a
 #: batched verification path ignore it.
+#: Churn fraction (delta events over serving population) above which the
+#: engine republish stops migrating prepared instances and falls back to
+#: plain invalidation — a mostly-new population re-resolves about as fast
+#: as it patches, and eager migration of instances that may never be
+#: queried again is pure waste at that point.
+_MIGRATE_FRACTION = 0.5
+
 SOLVER_FACTORIES: Dict[str, Any] = {
     "baseline": lambda batch_verify: BaselineGreedySolver(batch_verify=batch_verify),
     "k-cifp": lambda batch_verify: AdaptedKCIFPSolver(),
@@ -166,6 +173,11 @@ class SelectionEngine:
         prepared_cache_size: LRU bound for prepared instances (each holds
             a full influence table — keep this small).
         result_cache_size: LRU bound for final selections (cheap entries).
+        incremental: Migrate cached prepared instances across streaming
+            republishes by delta-patching them
+            (:meth:`~repro.service.PreparedInstance.patched`) instead of
+            dropping them; disable to measure the full-invalidation
+            baseline (the CLI exposes this as ``--no-incremental``).
     """
 
     def __init__(
@@ -176,11 +188,16 @@ class SelectionEngine:
         max_queued: int = 64,
         prepared_cache_size: int = 16,
         result_cache_size: int = 4096,
+        incremental: bool = True,
     ) -> None:
         self._prepared = LRUCache(prepared_cache_size)
         self._results = LRUCache(result_cache_size)
         self._scheduler = QueryScheduler(max_workers, max_queued)
         self._snapshot: Optional[DatasetSnapshot] = None
+        self.incremental = incremental
+        self._patched = 0
+        self._patch_skipped = 0
+        self._patch_failed = 0
         if snapshot is not None:
             self.publish(snapshot)
 
@@ -210,9 +227,46 @@ class SelectionEngine:
         if old is not None:
             old.supersede()
             if old.content_hash != snapshot.content_hash:
+                self._migrate_prepared(old, snapshot)
                 self._prepared.invalidate_snapshot(old.content_hash)
                 self._results.invalidate_snapshot(old.content_hash)
         return snapshot
+
+    def _migrate_prepared(
+        self, old: DatasetSnapshot, snapshot: DatasetSnapshot
+    ) -> None:
+        """Delta-patch the old snapshot's prepared instances onto the new.
+
+        Runs just before the old hash's entries are swept: each prepared
+        instance whose key chains to the new snapshot's delta is spliced
+        via :meth:`~repro.service.PreparedInstance.patched` and inserted
+        under the new content hash, so the first query after a streaming
+        republish pays dirty-row work instead of a full re-resolve.
+        Skipped entirely when incremental serving is off, the delta is
+        missing or chains elsewhere, or churn exceeds
+        :data:`_MIGRATE_FRACTION` of the new population.
+        """
+        delta = snapshot.delta
+        entries = self._prepared.entries_for(old.content_hash)
+        if not entries:
+            return
+        n_users = len(snapshot.dataset.users)
+        if (
+            not self.incremental
+            or delta is None
+            or delta.parent_hash != old.content_hash
+            or (n_users and len(delta) > _MIGRATE_FRACTION * n_users)
+        ):
+            self._patch_skipped += len(entries)
+            return
+        for key, inst in entries:
+            try:
+                patched = PreparedInstance.patched(inst, snapshot)
+            except (ServiceError, SolverError):
+                self._patch_failed += 1
+                continue
+            self._prepared.put((snapshot.content_hash,) + key[1:], patched)
+            self._patched += 1
 
     def publish_streaming(self, session: Any) -> DatasetSnapshot:
         """Publish the current state of a :class:`StreamingMC2LS` session."""
@@ -351,6 +405,12 @@ class SelectionEngine:
         out: Dict[str, Any] = {
             "prepared_cache": self._prepared.stats().as_dict(),
             "result_cache": self._results.stats().as_dict(),
+            "incremental": {
+                "enabled": self.incremental,
+                "patched": self._patched,
+                "skipped": self._patch_skipped,
+                "failed": self._patch_failed,
+            },
             "scheduler": {
                 "max_workers": self._scheduler.max_workers,
                 "max_queued": self._scheduler.max_queued,

@@ -23,14 +23,14 @@ lazy matrix builds are double-checked under a lock.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from typing import Optional, Sequence, Tuple
 
-from ..exceptions import SolverError
+from ..exceptions import ServiceError, SolverError
 from ..influence import ProbabilityFunction, paper_default_pf
-from ..solvers import ResolvedInstance, Solver
+from ..solvers import ResolvedInstance, Solver, patch_resolution
 from ..solvers.coverage import CoverageMatrix
 from ..solvers.selection import CancelCheck, GreedyOutcome, greedy_select
+from .cache import LRUCache
 from .snapshot import DatasetSnapshot
 
 #: Bound on memoised restricted matrices per prepared instance.
@@ -67,16 +67,102 @@ class PreparedInstance:
         self.candidate_ids: Tuple[int, ...] = tuple(
             sorted(c.fid for c in snapshot.dataset.candidates)
         )
+        #: How this instance came to be: ``"resolved"`` (full resolve) or
+        #: ``"patched"`` (delta-spliced from a previous instance).
+        self.provenance = "resolved"
+        #: Dirty rows re-verified when provenance is ``"patched"``.
+        self.patched_users = 0
+        self._warm = False
         self._lock = threading.Lock()
         self._matrix: Optional[CoverageMatrix] = None
-        self._restricted: "OrderedDict[Tuple[int, ...], CoverageMatrix]" = (
-            OrderedDict()
+        # Counted LRU (satellite of PR 6): the old per-instance OrderedDict
+        # memo grew one full CSR matrix per distinct mask with only a local
+        # bound and no accounting; the shared cache class bounds it *and*
+        # surfaces eviction counters through restricted_cache_stats().
+        self._restricted = LRUCache(_MAX_RESTRICTED)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def patched(
+        cls,
+        old: "PreparedInstance",
+        snapshot: DatasetSnapshot,
+        batch_verify: bool = True,
+        warm_start: bool = True,
+    ) -> "PreparedInstance":
+        """Delta-splice a prepared instance onto a successor snapshot.
+
+        ``snapshot`` must carry a :class:`~repro.streaming.DeltaLog`
+        chained from ``old``'s snapshot (``delta.parent_hash`` equal to
+        its content hash): only the delta's dirty rows are re-verified
+        (:func:`~repro.solvers.patch_resolution`) and, when ``old`` has a
+        built CSR matrix, its rows are spliced rather than redensified
+        (:meth:`~repro.solvers.CoverageMatrix.restrict`'s sibling,
+        :meth:`~repro.solvers.CoverageMatrix.patched`).
+
+        **Bit-identity contract.**  Every query observable — selections,
+        gains, objectives, for any ``k`` / candidate mask / kernel knob —
+        is bit-identical to a fresh ``PreparedInstance`` resolved against
+        ``snapshot``; the property suite pins this across all solvers.
+        Only the *cost* accounting differs (that is the point): the
+        patched ``resolved.evaluation`` counts the dirty rows alone, and
+        ``warm_start`` reuses the parent's CELF round-0 bounds so repeat
+        selections do strictly less screening work.
+
+        Raises:
+            ServiceError: When the snapshot carries no delta, the delta
+                chains from a different (e.g. superseded-and-replaced)
+                snapshot, or the candidate sites changed.
+        """
+        delta = snapshot.delta
+        if delta is None:
+            raise ServiceError(
+                "snapshot carries no delta log; republish from the "
+                "streaming session or fall back to a full resolve"
+            )
+        if delta.parent_hash != old.snapshot.content_hash:
+            raise ServiceError(
+                f"delta chains from snapshot {str(delta.parent_hash)[:12]}, "
+                f"not from this instance's {old.snapshot.content_hash[:12]} "
+                "(superseded out of order?)"
+            )
+        candidate_ids = tuple(sorted(c.fid for c in snapshot.dataset.candidates))
+        if candidate_ids != old.candidate_ids:
+            raise ServiceError("candidate sites changed; patching is impossible")
+
+        inst = cls.__new__(cls)
+        inst.snapshot = snapshot
+        inst.solver_name = old.solver_name
+        inst.tau = old.tau
+        inst.pf = old.pf
+        inst.resolved, added_cover = patch_resolution(
+            old.resolved,
+            snapshot.dataset,
+            delta.dirty,
+            delta.removed,
+            old.tau,
+            old.pf,
+            batch_verify=batch_verify,
         )
+        inst.table = inst.resolved.table
+        inst.candidate_ids = candidate_ids
+        inst.provenance = "patched"
+        inst.patched_users = len(delta.dirty)
+        inst._warm = bool(warm_start)
+        inst._lock = threading.Lock()
+        old_matrix = old._matrix
+        inst._matrix = (
+            old_matrix.patched(inst.table, added_cover, delta.removed)
+            if old_matrix is not None
+            else None
+        )
+        inst._restricted = LRUCache(_MAX_RESTRICTED)
+        return inst
 
     # ------------------------------------------------------------------
     @property
     def prepare_seconds(self) -> float:
-        """Wall-clock cost of the resolution this instance amortises."""
+        """Wall-clock cost of the resolution (or patch) this amortises."""
         return self.resolved.timings.get("total", 0.0)
 
     def matrix(self) -> CoverageMatrix:
@@ -88,17 +174,15 @@ class PreparedInstance:
         return self._matrix
 
     def _restricted_matrix(self, subset: Tuple[int, ...]) -> CoverageMatrix:
-        with self._lock:
-            cached = self._restricted.get(subset)
-            if cached is not None:
-                self._restricted.move_to_end(subset)
-                return cached
-        sub = self.matrix().restrict(subset)
-        with self._lock:
-            while len(self._restricted) >= _MAX_RESTRICTED:
-                self._restricted.popitem(last=False)
-            self._restricted[subset] = sub
+        key = (self.snapshot.content_hash, subset)
+        sub, _ = self._restricted.get_or_create(
+            key, lambda: self.matrix().restrict(subset)
+        )
         return sub
+
+    def restricted_cache_stats(self):
+        """Counters of the per-instance restricted-matrix LRU."""
+        return self._restricted.stats()
 
     # ------------------------------------------------------------------
     def select(
@@ -116,7 +200,9 @@ class PreparedInstance:
         """
         if candidate_ids is None:
             if fast_select:
-                return self.matrix().select(k, cancel_check=cancel_check)
+                return self.matrix().select(
+                    k, cancel_check=cancel_check, warm_start=self._warm
+                )
             return greedy_select(
                 self.table, self.candidate_ids, k, cancel_check=cancel_check
             )

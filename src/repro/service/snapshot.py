@@ -14,7 +14,11 @@ Supersession is explicit: when the engine publishes a successor, the old
 snapshot is marked superseded and its cache entries are dropped.  The
 :meth:`DatasetSnapshot.from_streaming` bridge turns a live
 :class:`~repro.streaming.StreamingMC2LS` session into a publishable
-version (the session's event counter becomes the snapshot version).
+version (the session's event counter becomes the snapshot version) and
+drains the session's :class:`~repro.streaming.DeltaLog` into the
+snapshot's ``delta`` attribute — the hook that lets the engine patch
+cached :class:`~repro.service.PreparedInstance`\\ s instead of
+re-resolving them when the population churns.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from ..entities import SpatialDataset
 from ..spatial import RTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from ..streaming import StreamingMC2LS
+    from ..streaming import DeltaLog, StreamingMC2LS
 
 
 def dataset_content_hash(dataset: SpatialDataset) -> str:
@@ -73,6 +77,10 @@ class DatasetSnapshot:
         self.version = version
         self.label = label or dataset.name
         self.content_hash = dataset_content_hash(dataset)
+        #: Churn relative to the previous snapshot of the same streaming
+        #: session (set by :meth:`from_streaming`); ``None`` for batch
+        #: snapshots and first publications.
+        self.delta: Optional["DeltaLog"] = None
         self._superseded = threading.Event()
         # Warm the derived structures queries will need: the CSR position
         # arena (batched verification) and the site R-trees (pruning).
@@ -114,13 +122,20 @@ class DatasetSnapshot:
         The surviving population is materialised through
         ``session.current_dataset()``; the session's ``events_processed``
         counter supplies the version unless one is given, so successive
-        publications from the same session are naturally ordered.
+        publications from the same session are naturally ordered.  The
+        session's delta log is drained against the new content hash and
+        attached as ``snapshot.delta``, chaining successive snapshots for
+        incremental prepared-instance maintenance.
         """
-        return cls(
+        snap = cls(
             session.current_dataset(),
             version=session.events_processed if version is None else version,
             label=label or "streaming",
         )
+        drain = getattr(session, "drain_delta", None)
+        if drain is not None:
+            snap.delta = drain(snap.content_hash)
+        return snap
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

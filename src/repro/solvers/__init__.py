@@ -1,6 +1,13 @@
 """MC²LS solvers: exact, baseline greedy, adapted k-CIFP and IQT variants."""
 
-from .base import MC2LSProblem, PhaseTimer, ResolvedInstance, Solver, SolverResult
+from .base import (
+    MC2LSProblem,
+    PhaseTimer,
+    ResolvedInstance,
+    Solver,
+    SolverResult,
+    patch_resolution,
+)
 from .baseline import BaselineGreedySolver
 from .budgeted import BudgetedGreedySolver
 from .capacitated import CapacitatedGreedySolver, CapacitatedOutcome
@@ -34,5 +41,6 @@ __all__ = [
     "coverage_select",
     "greedy_select",
     "lazy_greedy_select",
+    "patch_resolution",
     "run_selection",
 ]

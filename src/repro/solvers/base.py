@@ -16,6 +16,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
+import numpy as np
+
 from ..competition import InfluenceTable
 from ..entities import SpatialDataset
 from ..exceptions import SolverError
@@ -107,6 +109,113 @@ class ResolvedInstance:
     evaluation: EvaluationStats
     pruning: Optional[PruningStats] = None
     timings: Dict[str, float] = field(default_factory=dict)
+
+
+def patch_resolution(
+    parent: ResolvedInstance,
+    dataset: SpatialDataset,
+    dirty_uids: Tuple[int, ...],
+    removed_uids: Tuple[int, ...],
+    tau: float,
+    pf: ProbabilityFunction,
+    batch_verify: bool = True,
+    early_stopping: bool = True,
+) -> Tuple[ResolvedInstance, Dict[int, Set[int]]]:
+    """Re-resolve only the dirty user rows of a previously resolved table.
+
+    ``parent`` resolved some earlier version of the population under the
+    same ``(PF, τ)``; ``dataset`` is the mutated version, ``dirty_uids``
+    the users whose rows must be verified afresh (added or re-positioned)
+    and ``removed_uids`` the users that left.  Every other user's
+    relationships are carried over untouched — sound because influence is
+    decided per ``(facility, user)`` pair, so churn in one user's history
+    cannot change any other user's row.
+
+    Each dirty user is decided against *all* candidates and facilities
+    through the batched kernel (or the scalar evaluator when
+    ``batch_verify`` is off — decisions and counters are bit-identical
+    either way).  The resulting ``omega_c`` therefore matches a fresh
+    resolve of ``dataset`` exactly; ``f_o`` matches on every user a
+    candidate influences, which is the subset selection ever reads.
+
+    Returns:
+        ``(resolved, added_cover)`` — the patched resolution (timings
+        carry a ``"patch"`` phase; the evaluation counters cover only the
+        dirty-row work) and the ``uid -> covering candidate ids`` map the
+        CSR splice (:meth:`CoverageMatrix.patched`) consumes.
+
+    Raises:
+        SolverError: When a dirty uid is missing from ``dataset`` or a
+            removed uid is still present — the delta does not describe
+            this dataset.
+    """
+    timer = PhaseTimer()
+    users_by_uid = {u.uid: u for u in dataset.users}
+    present_removed = [uid for uid in removed_uids if uid in users_by_uid]
+    if present_removed:
+        raise SolverError(
+            f"removed uids {present_removed} are still present in the dataset"
+        )
+    missing_dirty = [uid for uid in dirty_uids if uid not in users_by_uid]
+    if missing_dirty:
+        raise SolverError(
+            f"dirty uids {missing_dirty} are absent from the dataset"
+        )
+    doomed = set(dirty_uids) | set(removed_uids)
+    omega_c: Dict[int, Set[int]] = {
+        cid: (users - doomed if users & doomed else set(users))
+        for cid, users in parent.table.omega_c.items()
+    }
+    f_o: Dict[int, Set[int]] = {
+        uid: set(fids)
+        for uid, fids in parent.table.f_o.items()
+        if uid not in doomed
+    }
+
+    evaluator = InfluenceEvaluator(pf, tau, early_stopping=early_stopping)
+    added_cover: Dict[int, Set[int]] = {}
+    with timer.mark("patch"):
+        if batch_verify:
+            batch = BatchInfluenceEvaluator(
+                pf, tau, early_stopping=early_stopping, stats=evaluator.stats
+            )
+            cand_xy = np.array(
+                [[c.x, c.y] for c in dataset.candidates], dtype=np.float64
+            ).reshape(-1, 2)
+            fac_xy = np.array(
+                [[f.x, f.y] for f in dataset.facilities], dtype=np.float64
+            ).reshape(-1, 2)
+            for uid in dirty_uids:
+                pos = users_by_uid[uid].positions
+                hit = batch.influences_facilities(cand_xy, pos)
+                covering = {c.fid for c, h in zip(dataset.candidates, hit) if h}
+                hit = batch.influences_facilities(fac_xy, pos)
+                f_o[uid] = {f.fid for f, h in zip(dataset.facilities, hit) if h}
+                added_cover[uid] = covering
+        else:
+            for uid in dirty_uids:
+                pos = users_by_uid[uid].positions
+                covering = {
+                    c.fid
+                    for c in dataset.candidates
+                    if evaluator.influences(c.x, c.y, pos)
+                }
+                f_o[uid] = {
+                    f.fid
+                    for f in dataset.facilities
+                    if evaluator.influences(f.x, f.y, pos)
+                }
+                added_cover[uid] = covering
+        for uid, covering in added_cover.items():
+            for cid in covering:
+                omega_c[cid].add(uid)
+    resolved = ResolvedInstance(
+        table=InfluenceTable(omega_c, f_o),
+        evaluation=evaluator.stats,
+        pruning=None,
+        timings=timer.finish(),
+    )
+    return resolved, added_cover
 
 
 class Solver(ABC):

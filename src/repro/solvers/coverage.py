@@ -48,6 +48,12 @@ from .selection import CancelCheck, GreedyOutcome
 # gather/multiply path and keeps the bound trivially safe.
 _SUM_ULP = 2.0 ** -52
 
+# Dirty-row compaction threshold for :meth:`CoverageMatrix.patched`: when
+# more than this fraction of the user universe is dirty, the splice's
+# bookkeeping no longer beats a fresh densification, so the patch
+# compacts into a full rebuild (outputs are identical either way).
+_COMPACT_FRACTION = 0.25
+
 
 class CoverageMatrix:
     """CSR densification of an influence table for vectorized selection.
@@ -103,6 +109,10 @@ class CoverageMatrix:
             else np.zeros(0, dtype=np.int64)
         )
         self._entry_w = self.weights[self.col]
+        # Round-0 screened upper bounds (gain + tolerance per candidate),
+        # captured by the first full-scan select; patched matrices seed it
+        # from their parent so CELF can warm-start (see select()).
+        self.round0_bounds: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -154,7 +164,130 @@ class CoverageMatrix:
             np.concatenate(segments) if segments else np.zeros(0, dtype=np.int64)
         )
         sub._entry_w = sub.weights[sub.col]
+        sub.round0_bounds = None
         return sub
+
+    # ------------------------------------------------------------------
+    def patched(
+        self,
+        table: InfluenceTable,
+        added_cover: "dict[int, set[int]]",
+        removed_uids: Sequence[int],
+        model: CompetitionModel | None = None,
+    ) -> "CoverageMatrix":
+        """Splice dirty user rows into a new matrix for a mutated table.
+
+        ``table`` is the already-patched influence table; ``added_cover``
+        maps each dirty uid (added or re-positioned since this matrix was
+        built) to the candidate ids now covering it, and ``removed_uids``
+        lists users that left.  Every CSR entry touching a dirty or
+        removed uid is deleted, surviving entries are remapped onto the
+        new user universe, and the dirty uids' fresh entries are merged
+        in — one ``lexsort`` over (row, column) pairs instead of a
+        per-candidate Python rebuild.  The result is elementwise equal to
+        ``CoverageMatrix(table, self.candidate_ids)``: segments hold the
+        same index sets in the same ascending order and carry the same
+        weight multisets, so selection over the spliced matrix is
+        bit-identical to a fresh densification.
+
+        Surviving users' weights are gathered, not recomputed — sound for
+        any model whose ``user_share`` depends only on the user's ``F_o``
+        (the evenly-split default), which churn cannot change for an
+        untouched user.
+
+        Above the :data:`_COMPACT_FRACTION` dirty-row threshold the patch
+        compacts into a fresh densification instead (identical output,
+        cheaper than splicing a mostly-dirty matrix).
+
+        When this matrix carries ``round0_bounds``, the spliced matrix's
+        bounds are seeded as ``old bound + inserted weight mass`` per
+        candidate — a valid round-0 upper bound for the new table
+        (removals only shrink gains; surviving weights are unchanged) —
+        so a warm-started CELF select never misses a winner.
+        """
+        model = model or EvenlySplitModel()
+        doomed = {int(u) for u in added_cover} | {int(u) for u in removed_uids}
+        if self.n_users and len(doomed) > _COMPACT_FRACTION * self.n_users:
+            new = CoverageMatrix(table, self.candidate_ids, model=model)
+            # The warm-bound derivation (parent bound + inserted mass) is
+            # independent of how the new matrix was assembled, so the
+            # compacted rebuild carries it too.
+            if self.round0_bounds is not None:
+                pos_of_cid = {cid: j for j, cid in enumerate(self.candidate_ids)}
+                ins_mass = np.zeros(self.n_candidates, dtype=np.float64)
+                count = 0
+                for uid, cids in added_cover.items():
+                    if not cids:
+                        continue
+                    w = new.weights[np.searchsorted(new.user_ids, uid)]
+                    for cid in cids:
+                        ins_mass[pos_of_cid[cid]] += w
+                        count += 1
+                ins_mass += ins_mass * (count * _SUM_ULP)
+                new.round0_bounds = self.round0_bounds + ins_mass
+            return new
+        n = self.n_candidates
+        doomed_arr = np.fromiter(sorted(doomed), dtype=np.int64, count=len(doomed))
+        user_doomed = np.isin(self.user_ids, doomed_arr)
+
+        newcomers = np.fromiter(
+            sorted(u for u, cids in added_cover.items() if cids),
+            dtype=np.int64,
+            count=sum(1 for cids in added_cover.values() if cids),
+        )
+        survivors = self.user_ids[~user_doomed]
+        # Newcomers are all dirty, survivors are not: disjoint by
+        # construction, so the union is a sorted merge of the two.
+        new_uids = np.union1d(survivors, newcomers)
+
+        new = CoverageMatrix.__new__(CoverageMatrix)
+        new.table = table
+        new.candidate_ids = self.candidate_ids
+        new.user_ids = new_uids
+        new.weights = np.empty(new_uids.shape[0], dtype=np.float64)
+        new.weights[np.searchsorted(new_uids, survivors)] = self.weights[~user_doomed]
+        newcomer_pos = np.searchsorted(new_uids, newcomers)
+        for uid, pos in zip(newcomers.tolist(), newcomer_pos.tolist()):
+            new.weights[pos] = model.user_share(table, uid)
+
+        # Delete entries of doomed uids; remap the survivors' old user
+        # indices onto the new universe (both orderings are by uid, so
+        # per-segment ascending order is preserved by the remap).
+        entry_keep = ~user_doomed[self.col]
+        old_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        kept_rows = old_rows[entry_keep]
+        remap = np.searchsorted(new_uids, self.user_ids)
+        kept_cols = remap[self.col[entry_keep]]
+
+        pos_of_cid = {cid: j for j, cid in enumerate(self.candidate_ids)}
+        ins_rows_list: List[int] = []
+        ins_cols_list: List[int] = []
+        for uid, pos in zip(newcomers.tolist(), newcomer_pos.tolist()):
+            for cid in added_cover[uid]:
+                ins_rows_list.append(pos_of_cid[cid])
+                ins_cols_list.append(pos)
+        ins_rows = np.asarray(ins_rows_list, dtype=np.int64)
+        ins_cols = np.asarray(ins_cols_list, dtype=np.int64)
+
+        rows = np.concatenate((kept_rows, ins_rows))
+        cols = np.concatenate((kept_cols, ins_cols))
+        order = np.lexsort((cols, rows))
+        new.col = cols[order]
+        counts = np.bincount(rows, minlength=n)
+        new.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=new.indptr[1:])
+        new._entry_w = new.weights[new.col]
+
+        new.round0_bounds = None
+        if self.round0_bounds is not None:
+            ins_mass = np.bincount(
+                ins_rows, weights=new.weights[ins_cols], minlength=n
+            ).astype(np.float64)
+            # Inflate by the sequential-sum tolerance so the seeded value
+            # stays a rigorous upper bound (slack only costs re-screens).
+            ins_mass += ins_mass * (len(ins_rows_list) * _SUM_ULP)
+            new.round0_bounds = self.round0_bounds + ins_mass
+        return new
 
     # ------------------------------------------------------------------
     def screened_gains(
@@ -199,7 +332,12 @@ class CoverageMatrix:
         return math.fsum(self.weights[live].tolist())
 
     # ------------------------------------------------------------------
-    def select(self, k: int, cancel_check: CancelCheck = None) -> GreedyOutcome:
+    def select(
+        self,
+        k: int,
+        cancel_check: CancelCheck = None,
+        warm_start: bool = False,
+    ) -> GreedyOutcome:
         """Greedy ``k``-selection, identical to :func:`greedy_select`.
 
         Each round refreshes candidates lazily in CELF bound order —
@@ -208,13 +346,23 @@ class CoverageMatrix:
         pass; candidates whose stale upper bound falls below the best
         fresh lower bound are never touched.  Round winners are
         confirmed with exact ``fsum`` gains.
+
+        ``warm_start`` seeds round 0 from :attr:`round0_bounds` (when
+        present) instead of the full first-round scan, so round 0 runs
+        the same lazy refresh as later rounds.  Because the seeded values
+        are rigorous upper bounds — captured from a previous full scan of
+        this matrix, or carried through :meth:`patched` with the inserted
+        weight mass added — the refresh/confirm logic is unchanged and
+        the selection and gains stay bit-identical; only the
+        ``evaluations`` counter (work actually performed) shrinks.
         """
         n = self.n_candidates
         if k < 1 or k > n:
             raise SolverError(f"k={k} infeasible for {n} candidates")
         covered = self.new_covered_mask()
         in_play = np.ones(n, dtype=bool)
-        ub = np.full(n, np.inf)
+        warm = warm_start and self.round0_bounds is not None
+        ub = self.round0_bounds.copy() if warm else np.full(n, np.inf)
         flb = np.full(n, -np.inf)
         stamp = np.full(n, -1, dtype=np.int64)
         evaluations = 0
@@ -224,7 +372,7 @@ class CoverageMatrix:
             if cancel_check is not None:
                 cancel_check()
             best_flb = -np.inf
-            chunk = n if rnd == 0 else 1
+            chunk = n if (rnd == 0 and not warm) else 1
             while True:
                 cand = np.flatnonzero(in_play & (stamp < rnd) & (ub >= best_flb))
                 if cand.size == 0:
@@ -239,6 +387,10 @@ class CoverageMatrix:
                 flb[cand] = g - t
                 best_flb = max(best_flb, float((g - t).max()))
                 chunk = min(n, chunk * 8)
+            if rnd == 0 and not warm and self.round0_bounds is None:
+                # Every candidate was just screened, so ub holds the full
+                # round-0 upper-bound vector; keep it for warm restarts.
+                self.round0_bounds = ub.copy()
             fresh = np.flatnonzero(in_play & (stamp == rnd))
             round_flb = float(flb[fresh].max())
             near = fresh[ub[fresh] >= round_flb]

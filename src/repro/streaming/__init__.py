@@ -1,5 +1,5 @@
 """Streaming extension: incremental MC²LS under user arrivals/departures."""
 
-from .dynamic import StreamingMC2LS
+from .dynamic import DeltaLog, StreamingMC2LS
 
-__all__ = ["StreamingMC2LS"]
+__all__ = ["DeltaLog", "StreamingMC2LS"]

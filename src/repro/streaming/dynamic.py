@@ -17,10 +17,20 @@ resolved influence relationships *incrementally*:
 The session is equivalent, after any event sequence, to solving the
 batch problem on the surviving population — the invariant the test suite
 checks, including under property-based random event streams.
+
+For the serving engine the session additionally maintains a
+:class:`DeltaLog`: the net set of users added, removed and re-positioned
+since the last published snapshot.  ``snapshot()`` drains the log and
+attaches it to the returned snapshot, which lets
+:meth:`repro.service.PreparedInstance.patched` splice only the dirty
+rows of a cached influence table instead of re-resolving every user.
+Mutations that raise (unknown uid, mid-update failure) leave the log —
+like every other piece of session state — bit-for-bit untouched.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -36,6 +46,50 @@ from ..influence import (
 )
 from ..pruning import PinocchioPruner
 from ..solvers import GreedyOutcome, run_selection
+
+#: Sentinel distinguishing "no dirty entry" from any recorded state when
+#: saving/restoring the delta log across a failed update.
+_NO_ENTRY = object()
+
+
+@dataclass(frozen=True)
+class DeltaLog:
+    """Net user churn between two consecutive session snapshots.
+
+    The three uid tuples are disjoint and describe the *net* effect of
+    every event since the parent snapshot (add-then-remove collapses to
+    nothing, remove-then-re-add to ``updated``, and so on):
+
+    Attributes:
+        parent_hash: Content hash of the snapshot this delta is relative
+            to, or ``None`` when no snapshot preceded it (a patch is
+            impossible; consumers must fall back to a full resolve).
+        added: Uids present now that were absent at the parent.
+        removed: Uids absent now that were present at the parent.
+        updated: Uids present at both ends whose position history may
+            have changed (re-verification decides their rows afresh).
+    """
+
+    parent_hash: Optional[str]
+    added: Tuple[int, ...] = ()
+    removed: Tuple[int, ...] = ()
+    updated: Tuple[int, ...] = ()
+
+    @property
+    def dirty(self) -> Tuple[int, ...]:
+        """Uids whose influence rows must be re-verified (added ∪ updated)."""
+        return tuple(sorted(set(self.added) | set(self.updated)))
+
+    @property
+    def doomed(self) -> Tuple[int, ...]:
+        """Uids whose old rows must be dropped (removed ∪ updated)."""
+        return tuple(sorted(set(self.removed) | set(self.updated)))
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed) + len(self.updated)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
 
 
 class StreamingMC2LS:
@@ -91,6 +145,10 @@ class StreamingMC2LS:
         # Reverse index: uid -> candidate ids covering it (for O(deg) removal).
         self._covering: Dict[int, Set[int]] = {}
         self.events_processed = 0
+        # Net churn since the last drained snapshot: uid -> "added" |
+        # "removed" | "updated" (collapsed per the DeltaLog semantics).
+        self._dirty: Dict[int, str] = {}
+        self._parent_hash: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -104,6 +162,29 @@ class StreamingMC2LS:
     def table(self) -> InfluenceTable:
         """A snapshot of the maintained influence relationships."""
         return InfluenceTable.from_mappings(self._omega_c, self._f_o)
+
+    def pending_delta(self) -> DeltaLog:
+        """The churn accumulated since the last drained snapshot (a view;
+        the log keeps accumulating)."""
+        return DeltaLog(
+            parent_hash=self._parent_hash,
+            added=tuple(sorted(u for u, s in self._dirty.items() if s == "added")),
+            removed=tuple(sorted(u for u, s in self._dirty.items() if s == "removed")),
+            updated=tuple(sorted(u for u, s in self._dirty.items() if s == "updated")),
+        )
+
+    def drain_delta(self, content_hash: str) -> DeltaLog:
+        """Seal the accumulated churn against a newly published snapshot.
+
+        Returns the delta relative to the *previous* snapshot mark, then
+        advances the mark to ``content_hash`` and clears the log, so the
+        next drain describes churn relative to this publication.  Called
+        by :meth:`repro.service.DatasetSnapshot.from_streaming`.
+        """
+        delta = self.pending_delta()
+        self._parent_hash = content_hash
+        self._dirty.clear()
+        return delta
 
     # ------------------------------------------------------------------
     # Events
@@ -140,6 +221,12 @@ class StreamingMC2LS:
         competitors = {f.fid for f in decision.confirmed}
         competitors |= self._verify_interstitial(list(decision.verify), user)
         self._f_o[user.uid] = competitors
+        # Delta collapse: a user removed since the mark re-appearing means
+        # "present at both ends, history suspect" — i.e. updated.
+        if self._dirty.get(user.uid) == "removed":
+            self._dirty[user.uid] = "updated"
+        else:
+            self._dirty[user.uid] = "added"
         self.events_processed += 1
 
     def remove_user(self, uid: int) -> MovingUser:
@@ -150,6 +237,12 @@ class StreamingMC2LS:
         for cid in self._covering.pop(uid, ()):
             self._omega_c[cid].discard(uid)
         self._f_o.pop(uid, None)
+        # Delta collapse: a user added since the mark and removed again
+        # nets out to nothing relative to the parent snapshot.
+        if self._dirty.get(uid) == "added":
+            del self._dirty[uid]
+        else:
+            self._dirty[uid] = "removed"
         self.events_processed += 1
         return user
 
@@ -169,6 +262,7 @@ class StreamingMC2LS:
         old_covering = set(self._covering.get(uid, ()))
         old_fo = self._f_o.get(uid)
         old_fo = set(old_fo) if old_fo is not None else None
+        old_dirty = self._dirty.get(uid, _NO_ENTRY)
         events_before = self.events_processed
         self.remove_user(uid)
         try:
@@ -186,6 +280,13 @@ class StreamingMC2LS:
             self._covering[uid] = old_covering
             if old_fo is not None:
                 self._f_o[uid] = old_fo
+            # The remove/add pair may have rewritten (or deleted) the
+            # user's delta entry; restore it so a failed update cannot
+            # corrupt the next snapshot's patch.
+            if old_dirty is _NO_ENTRY:
+                self._dirty.pop(uid, None)
+            else:
+                self._dirty[uid] = old_dirty
             self.events_processed = events_before
             raise
         self.events_processed = events_before + 1  # one event per update

@@ -1,0 +1,62 @@
+"""Smoke test: the incremental-patch benchmark must run and record.
+
+Invokes ``benchmarks/bench_incremental_patch.py --smoke`` as a
+subprocess and asserts the patch/fresh identity check is green and the
+patch beats a full resolve at low churn.  The smoke run writes to a
+temporary path so the committed full-scale
+``BENCH_incremental_patch.json`` at the repo root is not overwritten by
+test runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_smoke_records_trajectory_point(tmp_path):
+    out_path = tmp_path / "BENCH_incremental_patch.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_incremental_patch.py"),
+            "--smoke",
+            "--out",
+            str(out_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out_path.exists()
+    payload = json.loads(out_path.read_text())
+    assert payload["benchmark"] == "incremental_patch"
+    assert payload["results_identical"] is True
+    assert payload["rows"], "no churn rates measured"
+    for row in payload["rows"]:
+        assert row["identical"] is True
+    # Even at smoke scale the low-churn patch must clearly beat a full
+    # resolve (the full-scale acceptance floor is 5x; smoke allows 2x
+    # headroom for tiny instances and noisy CI machines).
+    assert payload["min_speedup_at_5pct"] >= 2.0
+
+
+def test_committed_trajectory_point_is_full_scale():
+    """The recorded repo-root point meets the acceptance floor."""
+    payload = json.loads(
+        (REPO_ROOT / "BENCH_incremental_patch.json").read_text()
+    )
+    assert payload["n_users"] >= 800
+    assert payload["n_candidates"] >= 60
+    assert payload["results_identical"] is True
+    rates = [row["churn_rate"] for row in payload["rows"]]
+    assert min(rates) <= 0.05 and max(rates) >= 0.10
+    assert payload["min_speedup_at_5pct"] >= 5.0

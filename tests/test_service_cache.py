@@ -71,6 +71,103 @@ class TestInvalidation:
         assert cache.stats().invalidations == 2
 
 
+class TestGetOrCreateStampede:
+    def test_two_thread_stampede_builds_once(self):
+        cache = LRUCache(4)
+        calls = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_factory():
+            calls.append(threading.get_ident())
+            entered.set()
+            release.wait(5)
+            return "built"
+
+        results = []
+
+        def caller():
+            results.append(cache.get_or_create(("h", 1), slow_factory))
+
+        t1 = threading.Thread(target=caller)
+        t1.start()
+        assert entered.wait(5)
+        t2 = threading.Thread(target=caller)
+        t2.start()
+        release.set()
+        t1.join(5)
+        t2.join(5)
+        # Exactly one factory run; both callers got the value, and only
+        # the builder reports a miss.
+        assert len(calls) == 1
+        assert sorted(v for v, _ in results) == ["built", "built"]
+        assert sorted(hit for _, hit in results) == [False, True]
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_unrelated_keys_not_serialised_by_a_slow_build(self):
+        cache = LRUCache(4)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_factory():
+            entered.set()
+            release.wait(5)
+            return "slow"
+
+        t = threading.Thread(
+            target=lambda: cache.get_or_create(("h", "slow"), slow_factory)
+        )
+        t.start()
+        assert entered.wait(5)
+        # While the slow build is in flight, a different key must build
+        # immediately — the factory cannot be holding the cache lock.
+        value, hit = cache.get_or_create(("h", "fast"), lambda: "fast")
+        assert (value, hit) == ("fast", False)
+        release.set()
+        t.join(5)
+        assert cache.get(("h", "slow")) == "slow"
+
+    def test_factory_failure_releases_the_key(self):
+        cache = LRUCache(4)
+
+        def boom():
+            raise RuntimeError("factory failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create(("h", 1), boom)
+        value, hit = cache.get_or_create(("h", 1), lambda: "ok")
+        assert (value, hit) == ("ok", False)
+
+    def test_invalidate_racing_in_flight_build_is_not_resurrected(self):
+        cache = LRUCache(4)
+        entered = threading.Event()
+        release = threading.Event()
+        results = []
+
+        def slow_factory():
+            entered.set()
+            release.wait(5)
+            return "stale-snapshot-product"
+
+        t = threading.Thread(
+            target=lambda: results.append(cache.get_or_create(("old", 1), slow_factory))
+        )
+        t.start()
+        assert entered.wait(5)
+        # A republish sweeps the hash while the build is still running.
+        cache.invalidate_snapshot("old")
+        release.set()
+        t.join(5)
+        # The in-flight caller still gets its (correct-for-its-key) value…
+        assert results == [("stale-snapshot-product", False)]
+        # …but the completed build must NOT re-enter the cache after the
+        # sweep: a later lookup misses and rebuilds fresh.
+        assert cache.get(("old", 1)) is None
+        value, hit = cache.get_or_create(("old", 1), lambda: "rebuilt")
+        assert (value, hit) == ("rebuilt", False)
+
+
 class TestThreadSafety:
     def test_concurrent_mixed_operations(self):
         cache = LRUCache(32)

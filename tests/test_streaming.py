@@ -195,3 +195,113 @@ class TestUpdateExceptionSafety:
         # And the session still works: the same update now succeeds.
         session.update_user(moved)
         assert session.events_processed == before_events + 1
+
+
+class TestDeltaLog:
+    """Net-churn accounting at the streaming -> service seam."""
+
+    def _drained(self, base, k=3):
+        session = StreamingMC2LS.from_dataset(base, k=k, tau=0.5)
+        session.drain_delta("hash-0")  # seal the bootstrap churn
+        return session
+
+    def test_bootstrap_adds_are_pending(self, base):
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        delta = session.pending_delta()
+        assert delta.parent_hash is None
+        assert delta.added == tuple(sorted(u.uid for u in base.users))
+        assert delta.removed == () and delta.updated == ()
+
+    def test_collapse_add_then_remove_nets_out(self, base):
+        session = self._drained(base)
+        newcomer = MovingUser(7000, base.users[0].positions + 1.0)
+        session.add_user(newcomer)
+        session.remove_user(7000)
+        assert not session.pending_delta()
+        assert len(session.pending_delta()) == 0
+
+    def test_collapse_remove_then_readd_is_updated(self, base):
+        session = self._drained(base)
+        uid = base.users[3].uid
+        user = session._users[uid]
+        session.remove_user(uid)
+        session.add_user(user)
+        delta = session.pending_delta()
+        assert delta.updated == (uid,)
+        assert delta.added == () and delta.removed == ()
+
+    def test_update_marks_updated_and_dirty_doomed_views(self, base):
+        session = self._drained(base)
+        uid = base.users[1].uid
+        session.update_user(MovingUser(uid, session._users[uid].positions + 0.5))
+        session.add_user(MovingUser(7001, base.users[0].positions))
+        session.remove_user(base.users[2].uid)
+        delta = session.pending_delta()
+        assert delta.updated == (uid,)
+        assert delta.added == (7001,)
+        assert delta.removed == (base.users[2].uid,)
+        assert delta.dirty == tuple(sorted((uid, 7001)))
+        assert delta.doomed == tuple(sorted((uid, base.users[2].uid)))
+        assert len(delta) == 3 and bool(delta)
+
+    def test_update_of_freshly_added_user_stays_added(self, base):
+        session = self._drained(base)
+        session.add_user(MovingUser(7002, base.users[0].positions))
+        session.update_user(MovingUser(7002, base.users[0].positions + 1.0))
+        delta = session.pending_delta()
+        assert delta.added == (7002,)
+        assert delta.updated == ()
+
+    def test_drain_advances_the_mark_and_clears(self, base):
+        session = self._drained(base)
+        uid = base.users[0].uid
+        session.update_user(MovingUser(uid, session._users[uid].positions + 0.5))
+        first = session.drain_delta("hash-1")
+        assert first.parent_hash == "hash-0"
+        assert first.updated == (uid,)
+        assert not session.pending_delta()
+        assert session.pending_delta().parent_hash == "hash-1"
+
+    def test_absent_uid_mutations_leave_the_log_untouched(self, base):
+        session = self._drained(base)
+        before = session.pending_delta()
+        with pytest.raises(SolverError):
+            session.remove_user(424242)
+        with pytest.raises(SolverError):
+            session.update_user(MovingUser(424242, base.users[0].positions))
+        assert session.pending_delta() == before
+
+    def test_failed_update_restores_the_delta_entry(self, base):
+        session = self._drained(base)
+        uid = base.users[4].uid
+        original = session._pruner_f.classify_user
+
+        def exploding(u):
+            if u.uid == uid:
+                raise RuntimeError("classifier exploded")
+            return original(u)
+
+        before = session.pending_delta()
+        session._pruner_f.classify_user = exploding
+        try:
+            with pytest.raises(RuntimeError):
+                session.update_user(
+                    MovingUser(uid, session._users[uid].positions + 1.0)
+                )
+        finally:
+            session._pruner_f.classify_user = original
+        # The remove/add pair inside the failed update must not leak a
+        # phantom "removed"/"updated" entry into the next snapshot patch.
+        assert session.pending_delta() == before
+
+    def test_snapshot_seam_chains_content_hashes(self, base):
+        pytest.importorskip("repro.service")
+        session = StreamingMC2LS.from_dataset(base, k=3, tau=0.5)
+        snap1 = session.snapshot()
+        assert snap1.delta is not None
+        assert snap1.delta.parent_hash is None  # nothing published before
+        uid = base.users[0].uid
+        session.update_user(MovingUser(uid, session._users[uid].positions + 0.5))
+        snap2 = session.snapshot()
+        assert snap2.delta.parent_hash == snap1.content_hash
+        assert snap2.delta.updated == (uid,)
