@@ -16,13 +16,13 @@ both, so neither comparison can rot.
 
 import argparse
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.bench.datasets import DEFAULT_D_HAT, DEFAULT_TAU, dataset
+from repro.bench.timing import repeat_timed
 from repro.entities import MovingUser
 from repro.geo import Rect
 from repro.influence import (
@@ -135,8 +135,9 @@ def run_batch_verify_benchmark(
     """Time the scalar loop against the batch kernel on one big batch.
 
     Returns (and writes to ``out_path``) the recorded trajectory point:
-    best-of-``repeats`` wall-clock for both paths, the speedup, and a
-    bit-identity check of the decisions and counters.
+    median-of-``repeats`` wall-clock for both paths (with the min/max
+    spread recorded under ``timings``), the speedup, and a bit-identity
+    check of the decisions and counters.
     """
     users = _verification_population(n_users)
     arena = PositionArena.from_users(users)
@@ -151,23 +152,18 @@ def run_batch_verify_benchmark(
         ev = BatchInfluenceEvaluator(pf, DEFAULT_TAU)
         return ev.influences_users(vx, vy, arena), ev.stats
 
-    def best_of(fn):
-        best, result = float("inf"), None
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - t0)
-        return best, result
-
-    scalar_s, (scalar_dec, scalar_stats) = best_of(scalar_pass)
-    batch_s, (batch_dec, batch_stats) = best_of(batch_pass)
+    scalar = repeat_timed(scalar_pass, repeats)
+    batch = repeat_timed(batch_pass, repeats)
+    scalar_dec, scalar_stats = scalar.result
+    batch_dec, batch_stats = batch.result
     payload = {
         "benchmark": "batch_verify",
         "n_users": n_users,
         "n_positions": int(arena.n_positions),
-        "scalar_s": scalar_s,
-        "batch_s": batch_s,
-        "speedup": scalar_s / batch_s,
+        "scalar_s": scalar.median_s,
+        "batch_s": batch.median_s,
+        "speedup": scalar.median_s / batch.median_s,
+        "timings": {"scalar": scalar.summary(), "batch": batch.summary()},
         "decisions_equal": bool(np.array_equal(scalar_dec, batch_dec)),
         "stats_equal": scalar_stats.__dict__ == batch_stats.__dict__,
         "influenced": int(batch_dec.sum()),
@@ -214,32 +210,27 @@ def run_greedy_select_benchmark(
     """Time the scalar greedy against the CSR selection kernel.
 
     Returns (and writes to ``out_path``) the recorded trajectory point:
-    best-of-``repeats`` wall-clock for both paths, the speedup, and the
-    selection-identity checks (same tuple, bit-equal gains).
+    median-of-``repeats`` wall-clock for both paths (min/max spread under
+    ``timings``), the speedup, and the selection-identity checks (same
+    tuple, bit-equal gains).
     """
     from repro.solvers import coverage_select, greedy_select
 
     table = _selection_table(n_users, n_candidates)
     cids = list(range(n_candidates))
 
-    def best_of(fn):
-        best, result = float("inf"), None
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - t0)
-        return best, result
-
-    scalar_s, scalar_out = best_of(lambda: greedy_select(table, cids, k))
-    fast_s, fast_out = best_of(lambda: coverage_select(table, cids, k))
+    scalar = repeat_timed(lambda: greedy_select(table, cids, k), repeats)
+    fast = repeat_timed(lambda: coverage_select(table, cids, k), repeats)
+    scalar_out, fast_out = scalar.result, fast.result
     payload = {
         "benchmark": "greedy_select",
         "n_users": n_users,
         "n_candidates": n_candidates,
         "k": k,
-        "scalar_s": scalar_s,
-        "fast_s": fast_s,
-        "speedup": scalar_s / fast_s,
+        "scalar_s": scalar.median_s,
+        "fast_s": fast.median_s,
+        "speedup": scalar.median_s / fast.median_s,
+        "timings": {"scalar": scalar.summary(), "fast": fast.summary()},
         "selections_equal": scalar_out.selected == fast_out.selected,
         "gains_equal": scalar_out.gains == fast_out.gains,
         "objective": fast_out.objective,
@@ -282,14 +273,16 @@ def main(argv=None) -> int:
         out = args.out or REPO_ROOT / "BENCH_batch_verify.json"
         payload = run_batch_verify_benchmark(
             n_users=args.users or 1200,
-            repeats=args.repeats or (2 if args.smoke else 5),
+            # Odd repeat counts keep the median robust to one slow
+            # sample (smoke shares a core with the rest of the suite).
+            repeats=args.repeats or (3 if args.smoke else 5),
             out_path=out,
         )
         ok = payload["decisions_equal"] and payload["stats_equal"]
     else:
         out = args.out or REPO_ROOT / "BENCH_greedy_select.json"
         if args.smoke:
-            n_users, n_candidates, repeats = 8_000, 200, 2
+            n_users, n_candidates, repeats = 8_000, 200, 3
         else:
             n_users, n_candidates, repeats = 50_000, args.candidates, 3
         payload = run_greedy_select_benchmark(

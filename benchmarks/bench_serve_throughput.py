@@ -19,9 +19,9 @@ temporary path so the committed point cannot rot.
 
 import argparse
 import json
-import time
 from pathlib import Path
 
+from repro.bench.timing import repeat_timed
 from repro.data import california_like
 from repro.service import SelectionEngine, SelectionQuery, solve_queries
 from repro.solvers import IQTSolver, MC2LSProblem
@@ -35,15 +35,6 @@ def _query_batch(k_max, taus):
         for tau in taus
         for k in range(1, k_max + 1)
     ]
-
-
-def _best_of(fn, repeats):
-    best, result = float("inf"), None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def run_serve_throughput_benchmark(
@@ -70,18 +61,21 @@ def run_serve_throughput_benchmark(
             for q in queries
         ]
 
-    cold_s, direct = _best_of(cold_pass, repeats)
+    cold = repeat_timed(cold_pass, repeats)
+    cold_s, direct = cold.median_s, cold.result
 
     def warm_engine(threads):
         engine = SelectionEngine(dataset, max_workers=threads)
         solve_queries(engine, queries)  # warm both caches
-        warm_s, served = _best_of(lambda: solve_queries(engine, queries), repeats)
+        warm = repeat_timed(lambda: solve_queries(engine, queries), repeats)
         stats = engine.stats()
         engine.shutdown()
-        return warm_s, served, stats
+        return warm, stats
 
-    warm1_s, served1, stats1 = warm_engine(1)
-    warm4_s, served4, stats4 = warm_engine(4)
+    warm1, stats1 = warm_engine(1)
+    warm4, stats4 = warm_engine(4)
+    warm1_s, served1 = warm1.median_s, warm1.result
+    warm4_s, served4 = warm4.median_s, warm4.result
 
     identical = all(
         s.selected == d.selected and s.gains == d.gains and s.objective == d.objective
@@ -100,6 +94,11 @@ def run_serve_throughput_benchmark(
         "cold_s": cold_s,
         "warm_1t_s": warm1_s,
         "warm_4t_s": warm4_s,
+        "timings": {
+            "cold": cold.summary(),
+            "warm_1t": warm1.summary(),
+            "warm_4t": warm4.summary(),
+        },
         "cold_qps": n / cold_s,
         "warm_1t_qps": n / warm1_s,
         "warm_4t_qps": n / warm4_s,

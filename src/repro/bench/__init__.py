@@ -2,8 +2,10 @@
 
 from . import ascii_viz, datasets, experiments
 from .reporting import clear_registry, format_table, record_table, registered_tables
+from .timing import TimingSample, repeat_timed
 
 __all__ = [
+    "TimingSample",
     "ascii_viz",
     "clear_registry",
     "datasets",
@@ -11,4 +13,5 @@ __all__ = [
     "format_table",
     "record_table",
     "registered_tables",
+    "repeat_timed",
 ]

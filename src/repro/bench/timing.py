@@ -1,0 +1,72 @@
+"""Repeat-timing discipline shared by the benchmark scripts.
+
+Every recorded trajectory point follows the same protocol: run the
+workload ``repeats`` times, report the **median** wall-clock as the
+headline number and the min/max **spread** alongside it, so a single
+scheduler hiccup can neither flatter nor tank a committed point.  The
+helpers here keep that discipline in one place instead of re-implementing
+``best-of`` loops per script.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """Wall-clock measurements of one workload over several repeats.
+
+    Attributes:
+        times: Per-repeat wall-clock seconds, in run order.
+        result: The workload's return value from the final repeat (the
+            workloads benchmarked here are deterministic, so any repeat's
+            result is representative).
+    """
+
+    times: Tuple[float, ...]
+    result: Any
+
+    @property
+    def median_s(self) -> float:
+        """The headline number: median over repeats."""
+        return statistics.median(self.times)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.times)
+
+    @property
+    def spread_s(self) -> float:
+        """Max minus min over repeats — the jitter band width."""
+        return max(self.times) - min(self.times)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready record of this sample (times, median, spread)."""
+        return {
+            "median_s": self.median_s,
+            "best_s": self.best_s,
+            "spread_s": self.spread_s,
+            "repeats": self.repeats,
+            "times_s": list(self.times),
+        }
+
+
+def repeat_timed(fn: Callable[[], Any], repeats: int) -> TimingSample:
+    """Run ``fn`` ``repeats`` times (>= 1) and collect the sample."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    times = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return TimingSample(tuple(times), result)

@@ -195,11 +195,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session = StreamingMC2LS.from_dataset(dataset, k=max(ks))
         first = session.snapshot()
     with SelectionEngine(
-        first, max_workers=args.threads, incremental=not args.no_incremental
+        first,
+        max_workers=args.threads,
+        incremental=not args.no_incremental,
+        execution=args.execution,
+        shard_workers=args.shard_workers,
     ) as engine:
         print(engine.snapshot().describe())
+        mode = args.execution
+        if mode == "sharded":
+            mode += f" ({args.shard_workers} worker processes)"
         print(f"{len(queries)} queries x {args.repeat} passes "
-              f"on {args.threads} worker thread(s)\n")
+              f"on {args.threads} worker thread(s), execution={mode}\n")
         rows = []
         for pass_no in range(1, args.repeat + 1):
             republish = 0.0
@@ -233,6 +240,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"\nincremental republish: enabled={inc['enabled']} "
               f"patched={inc['patched']} skipped={inc['skipped']} "
               f"failed={inc['failed']}")
+        sharded = stats["sharded"]
+        if sharded["execution"] == "sharded":
+            print(f"sharded execution: workers={sharded['workers']} "
+                  f"queries={sharded['queries']} "
+                  f"fallbacks={sharded['fallbacks']} "
+                  f"failures={sharded['failures']}")
     return 0
 
 
@@ -298,6 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drop prepared instances on republish instead "
                             "of delta-patching them (ablation; results are "
                             "identical)")
+    serve.add_argument("--execution", choices=("threaded", "sharded"),
+                       default="threaded",
+                       help="run kernels in-process (threaded) or fan "
+                            "resolve+select out over worker processes "
+                            "with shared-memory arrays (sharded; results "
+                            "are bit-identical)")
+    serve.add_argument("--shard-workers", type=int, default=2, metavar="N",
+                       help="worker processes for --execution sharded; "
+                            "N < 2 falls back to the in-process path "
+                            "(default: 2)")
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="dataset distribution statistics")

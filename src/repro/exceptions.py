@@ -50,3 +50,13 @@ class DeadlineExceededError(QueryCancelledError):
 
 class EngineSaturatedError(ServiceError):
     """Raised at admission when the scheduler's queue is already full."""
+
+
+class ShardError(ServiceError):
+    """Raised when the sharded execution layer fails mid-flight.
+
+    Covers worker-process death, broken coordinator↔worker pipes and
+    shared-memory segments vanishing under a live coordinator.  Raising
+    it always follows teardown: the coordinator terminates its workers
+    and unlinks its shared segments before surfacing the error.
+    """

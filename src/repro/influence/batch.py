@@ -65,7 +65,10 @@ class PositionArena:
         self.positions = positions
         self.offsets = offsets
         self.uids = uids
-        self._row_of: Dict[int, int] = {int(u): i for i, u in enumerate(uids)}
+        # uid -> row dict, built lazily on first id lookup: the batched
+        # kernels address rows by index, and shard workers mapping a
+        # million-user arena out of shared memory never need it.
+        self._row_of: Optional[Dict[int, int]] = None
         if offsets.shape[0] != uids.shape[0] + 1:
             raise DataError("arena offsets must have one entry per user plus one")
 
@@ -81,14 +84,20 @@ class PositionArena:
         """Per-row position counts."""
         return np.diff(self.offsets)
 
+    def _index(self) -> Dict[int, int]:
+        if self._row_of is None:
+            self._row_of = {int(u): i for i, u in enumerate(self.uids)}
+        return self._row_of
+
     def row_of(self, uid: int) -> int:
         """Arena row index of a user id."""
-        return self._row_of[uid]
+        return self._index()[uid]
 
     def rows_for(self, uids: Iterable[int]) -> np.ndarray:
         """Arena row indices for an iterable of user ids."""
+        index = self._index()
         return np.fromiter(
-            (self._row_of[u] for u in uids), dtype=np.int64
+            (index[u] for u in uids), dtype=np.int64
         )
 
     def gather(self, rows: Optional[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:

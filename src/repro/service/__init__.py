@@ -15,6 +15,11 @@ for heavy repeated traffic against one dataset:
   control, deadlines and cooperative cancellation.
 * :mod:`~repro.service.engine` — :class:`SelectionEngine`, tying the
   layers together behind :class:`SelectionQuery` / :class:`QueryResult`.
+* :mod:`~repro.service.shared` — :class:`SharedArrayStore`, zero-copy
+  shared-memory kernel state with a content-hash handshake.
+* :mod:`~repro.service.sharding` — :class:`ShardCoordinator` and its
+  :class:`ShardWorker` processes: multi-process resolve fan-out and
+  distributed CELF greedy over :class:`ShardPlan` user shards.
 """
 
 from .cache import CacheStats, LRUCache
@@ -28,6 +33,13 @@ from .engine import (
 )
 from .prepared import PreparedInstance
 from .scheduler import CancelToken, QueryHandle, QueryScheduler
+from .shared import SharedArrayStore
+from .sharding import (
+    ShardCoordinator,
+    ShardPlan,
+    ShardWorker,
+    ShardedCoverageMatrix,
+)
 from .snapshot import DatasetSnapshot, dataset_content_hash
 
 __all__ = [
@@ -43,6 +55,11 @@ __all__ = [
     "SOLVER_FACTORIES",
     "SelectionEngine",
     "SelectionQuery",
+    "ShardCoordinator",
+    "ShardPlan",
+    "ShardWorker",
+    "ShardedCoverageMatrix",
+    "SharedArrayStore",
     "dataset_content_hash",
     "solve_queries",
 ]

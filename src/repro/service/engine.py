@@ -28,12 +28,15 @@ which snapshot version served it.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..entities import SpatialDataset
-from ..exceptions import ServiceError, SolverError
+from ..exceptions import ServiceError, ShardError, SolverError
 from ..influence import ProbabilityFunction, paper_default_pf
 from ..solvers import (
     AdaptedKCIFPSolver,
@@ -45,6 +48,8 @@ from ..solvers import (
 from .cache import LRUCache
 from .prepared import PreparedInstance
 from .scheduler import CancelToken, QueryHandle, QueryScheduler
+from .shared import SharedArrayStore
+from .sharding import ShardCoordinator
 from .snapshot import DatasetSnapshot
 
 #: Solvers the engine can prepare with, by CLI-compatible name.  Each
@@ -178,6 +183,17 @@ class SelectionEngine:
             (:meth:`~repro.service.PreparedInstance.patched`) instead of
             dropping them; disable to measure the full-invalidation
             baseline (the CLI exposes this as ``--no-incremental``).
+        execution: ``"threaded"`` (default) serves queries with the
+            in-process kernels; ``"sharded"`` fans resolution and the
+            greedy rounds out over ``shard_workers`` worker *processes*
+            through a :class:`~repro.service.ShardCoordinator`
+            (bit-identical results, GIL-free scaling).  Falls back to
+            the threaded path — with a counter in :meth:`stats` — when
+            ``shard_workers < 2`` or shared memory / process spawning is
+            unavailable on the platform.
+        shard_workers: Worker-process count for sharded execution.
+        shard_start_method: ``multiprocessing`` start method override
+            for the worker fleet (default: ``fork`` where available).
     """
 
     def __init__(
@@ -189,7 +205,15 @@ class SelectionEngine:
         prepared_cache_size: int = 16,
         result_cache_size: int = 4096,
         incremental: bool = True,
+        execution: str = "threaded",
+        shard_workers: int = 0,
+        shard_start_method: Optional[str] = None,
     ) -> None:
+        if execution not in ("threaded", "sharded"):
+            raise ServiceError(
+                f"unknown execution mode {execution!r}; "
+                "expected 'threaded' or 'sharded'"
+            )
         self._prepared = LRUCache(prepared_cache_size)
         self._results = LRUCache(result_cache_size)
         self._scheduler = QueryScheduler(max_workers, max_queued)
@@ -198,6 +222,15 @@ class SelectionEngine:
         self._patched = 0
         self._patch_skipped = 0
         self._patch_failed = 0
+        self.execution = execution
+        self.shard_workers = shard_workers
+        self._shard_start_method = shard_start_method
+        self._shard_lock = threading.Lock()
+        self._coordinator: Optional[ShardCoordinator] = None
+        self._shard_disabled = shard_workers < 2
+        self._shard_queries = 0
+        self._shard_fallbacks = 0
+        self._shard_failures = 0
         if snapshot is not None:
             self.publish(snapshot)
 
@@ -230,6 +263,7 @@ class SelectionEngine:
                 self._migrate_prepared(old, snapshot)
                 self._prepared.invalidate_snapshot(old.content_hash)
                 self._results.invalidate_snapshot(old.content_hash)
+                self._detach_sharded()
         return snapshot
 
     def _migrate_prepared(
@@ -313,6 +347,112 @@ class SelectionEngine:
         prepared, was_hit = self._prepared.get_or_create(pkey, build)
         return prepared, "hit" if was_hit else "miss"
 
+    # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+    def _detach_sharded(self) -> None:
+        """Drop the worker fleet's shared state (on republish)."""
+        with self._shard_lock:
+            coord = self._coordinator
+            if coord is not None and coord.broken is None:
+                coord.detach()
+
+    def _ensure_coordinator(self) -> Optional[ShardCoordinator]:
+        """The live worker fleet, or ``None`` when falling back.
+
+        Spawns the fleet on first use, after probing that shared memory
+        actually works here (some platforms mount no ``/dev/shm``); any
+        setup failure permanently disables sharded execution for this
+        engine — queries silently take the threaded path and the
+        ``sharded.fallbacks`` counter records it.
+        """
+        if self._shard_disabled:
+            return None
+        with self._shard_lock:
+            if self._coordinator is not None and self._coordinator.broken is None:
+                return self._coordinator
+            try:
+                probe = SharedArrayStore.create(
+                    {"probe": np.zeros(1, dtype=np.float64)},
+                    "0" * 64,
+                    label="probe",
+                )
+                probe.close()
+                probe.unlink()
+                self._coordinator = ShardCoordinator(
+                    self.shard_workers, start_method=self._shard_start_method
+                )
+                return self._coordinator
+            except Exception:
+                self._shard_disabled = True
+                self._coordinator = None
+                return None
+
+    def _execute_sharded(
+        self,
+        query: SelectionQuery,
+        snapshot: DatasetSnapshot,
+        pf: ProbabilityFunction,
+        token: CancelToken,
+        t0: float,
+    ) -> Optional[QueryResult]:
+        """Serve one query on the worker fleet; ``None`` means fall back.
+
+        Preparation (shared-arena fan-out + sharded resolve) is
+        amortised per ``(snapshot, PF, τ)`` exactly like the threaded
+        path's prepared-instance cache; the distributed greedy returns
+        selections, gains and objective bit-identical to the in-process
+        kernels, so the result cache is shared with the threaded path.
+        A worker dying mid-query is *not* a fallback: the coordinator
+        tears down (unlinking every shared segment) and the query fails
+        with :class:`~repro.exceptions.ShardError` — silently recomputing
+        could hide a systematically crashing fleet.  The engine drops the
+        broken coordinator so the *next* query starts a fresh one.
+        """
+        coord = self._ensure_coordinator()
+        if coord is None:
+            self._shard_fallbacks += 1
+            return None
+        try:
+            did_prepare = coord.prepare(snapshot, query.tau, pf)
+            token.check()
+            t_sel = time.perf_counter()
+            outcome = coord.select(
+                query.k,
+                candidate_ids=query.candidate_ids,
+                cancel_check=token.check,
+            )
+            stats = coord.stats
+        except ShardError:
+            with self._shard_lock:
+                if self._coordinator is not None and self._coordinator.broken:
+                    self._coordinator = None
+            self._shard_failures += 1
+            raise
+        self._shard_queries += 1
+        now = time.perf_counter()
+        qstats = QueryStats(
+            snapshot_hash=snapshot.content_hash,
+            snapshot_version=snapshot.version,
+            solver=query.solver,
+            k=query.k,
+            tau=query.tau,
+            result_cache="miss" if query.use_cache else "bypass",
+            prepared_cache="sharded-miss" if did_prepare else "sharded-hit",
+            prepare_seconds=coord.last_prepare_seconds,
+            select_seconds=now - t_sel,
+            total_seconds=now - t0,
+            evaluations=stats.total_evaluations if stats else 0,
+            positions_touched=stats.positions_touched if stats else 0,
+            selection_evaluations=outcome.evaluations,
+        )
+        return QueryResult(
+            selected=outcome.selected,
+            objective=outcome.objective,
+            gains=outcome.gains,
+            stats=qstats,
+        )
+
     def execute(
         self, query: SelectionQuery, cancel: Optional[CancelToken] = None
     ) -> QueryResult:
@@ -342,6 +482,19 @@ class SelectionEngine:
                 )
                 return replace(cached, stats=stats)
         token.check()
+
+        if self.execution == "sharded":
+            result = self._execute_sharded(query, snapshot, pf, token, t0)
+            if result is not None:
+                if (
+                    query.use_cache
+                    and self._snapshot is snapshot
+                    and not snapshot.superseded
+                ):
+                    self._results.put(rkey, result)
+                return result
+            # Fleet unavailable on this platform / worker count: the
+            # threaded path below serves the query bit-identically.
 
         prepared, prepared_provenance = self._prepared_for(
             snapshot, query, pf, base_key + ("prepared",)
@@ -418,6 +571,15 @@ class SelectionEngine:
                 "submitted": self._scheduler.submitted,
                 "rejected": self._scheduler.rejected,
             },
+            "sharded": {
+                "execution": self.execution,
+                "workers": self.shard_workers,
+                "active": self._coordinator is not None
+                and self._coordinator.broken is None,
+                "queries": self._shard_queries,
+                "fallbacks": self._shard_fallbacks,
+                "failures": self._shard_failures,
+            },
         }
         if self._snapshot is not None:
             out["snapshot"] = {
@@ -428,8 +590,12 @@ class SelectionEngine:
         return out
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the scheduler (running queries finish when ``wait``)."""
+        """Stop the scheduler and the shard fleet (if one is running)."""
         self._scheduler.shutdown(wait=wait)
+        with self._shard_lock:
+            if self._coordinator is not None:
+                self._coordinator.close()
+                self._coordinator = None
 
     def __enter__(self) -> "SelectionEngine":
         return self

@@ -1,0 +1,332 @@
+"""Shared-memory array store for multi-process kernel state.
+
+The sharded execution layer splits "kernel state" from "solver objects":
+the numeric payloads the kernels actually read — the
+:class:`~repro.influence.PositionArena` arrays (``positions`` /
+``offsets`` / ``uids``), the CSR :class:`~repro.solvers.CoverageMatrix`
+arrays (``indptr`` / ``col`` / ``weights``), candidate and facility
+coordinates — are plain C-contiguous numpy arrays, so worker processes
+can map them zero-copy out of one ``multiprocessing.shared_memory``
+segment instead of each holding a full pickled copy of the population.
+
+One :class:`SharedArrayStore` owns one segment.  The segment layout is a
+small header (magic + the owning snapshot's content hash) followed by the
+arrays back-to-back at 64-byte-aligned offsets; the :attr:`manifest`
+(a plain picklable dict) names each array's dtype, shape and offset and
+travels to workers over the coordinator's pipes.  Attaching re-derives
+the views and performs the **content-hash handshake**: the hash embedded
+in the shared header must equal the hash the manifest promises, so a
+worker can never silently read a recycled or mismatched segment.
+
+Lifecycle is explicit and leak-proof:
+
+* ``create()`` registers the segment in a module-level registry whose
+  ``atexit`` hook unlinks anything still live — a coordinator that dies
+  with an exception cannot orphan ``/dev/shm`` segments.
+* ``unlink()`` (owner only) removes the name and deregisters; it is
+  idempotent and safe to call from ``finally`` blocks and context-manager
+  exits.
+* ``close()`` drops this process's mapping (workers call it on detach);
+  it never removes the name.
+
+Python's ``resource_tracker`` double-counts segments attached from
+worker processes (bpo-38119); attach therefore deregisters the segment
+from the attaching process's tracker *when that process runs its own
+tracker* — both ``fork`` and ``spawn`` children share the creator's
+tracker process (spawn ships the tracker fd in its preparation data),
+where the duplicate registration already collapses.  Either way the
+creating process's registry remains the single owner of the name.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+import threading
+from multiprocessing import shared_memory
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..exceptions import ServiceError
+
+#: Array offsets inside the segment are aligned to this many bytes.
+_ALIGN = 64
+
+#: Segment header: magic bytes + fixed-width (sha256 hex) content hash.
+_MAGIC = b"MC2LS-SHM-1\x00"
+_HASH_BYTES = 64
+
+#: Prefix of every segment name this module creates; the crash-cleanup
+#: tests sweep ``/dev/shm`` for leftovers by this prefix.
+SEGMENT_PREFIX = "mc2ls-"
+
+# Registry of segments created (owned) by this process, unlinked by the
+# atexit guard if the owner never got to do it (crash, unhandled error).
+_live_segments: Dict[str, shared_memory.SharedMemory] = {}
+_live_lock = threading.Lock()
+
+
+def _atexit_unlink_leftovers() -> None:  # pragma: no cover - exit path
+    with _live_lock:
+        leftovers = list(_live_segments.values())
+        _live_segments.clear()
+    for shm in leftovers:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_atexit_unlink_leftovers)
+
+
+def live_segment_names() -> Tuple[str, ...]:
+    """Names currently registered with the atexit guard (for tests)."""
+    with _live_lock:
+        return tuple(sorted(_live_segments))
+
+
+def _tracker_pid() -> Any:
+    """Pid of this process's resource-tracker, if one is running.
+
+    Best-effort read of a private API; ``None`` when unavailable.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        return getattr(resource_tracker._resource_tracker, "_pid", None)
+    except Exception:  # pragma: no cover
+        return None
+
+
+def _untrack_if_foreign(name: str, owner_tracker_pid: Any) -> None:
+    """Deregister a segment from this process's resource tracker.
+
+    Attaching registers the name with the *attaching* process's tracker
+    (bpo-38119), which would unlink a segment it does not own when that
+    process exits.  Ownership lives with the creator's registry, so
+    non-owners opt out — but only when they run a tracker of their own.
+    Multiprocessing children share the creator's tracker process: a
+    ``fork`` child inherits both ``_pid`` and ``_fd``, a ``spawn`` child
+    inherits only the fd (so its ``_pid`` reads ``None``).  In the
+    shared tracker the duplicate registration collapses in the tracker's
+    name set, and unregistering there would strip the creator's entry
+    and make its eventual unlink warn — so we unregister only when this
+    process's tracker pid is known *and* differs from the creator's
+    (i.e. a genuinely unrelated process spawned its own tracker).
+    Best-effort: the API is private.
+    """
+    pid = _tracker_pid()
+    if pid is None or pid == owner_tracker_pid:
+        return
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:  # pragma: no cover
+        pass
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayStore:
+    """A named set of numpy arrays in one shared-memory segment.
+
+    Create on the coordinator with :meth:`create`, ship :attr:`manifest`
+    to workers, attach there with :meth:`attach`.  Arrays come back as
+    read-only views into the mapping — zero-copy in every process.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: Dict[str, Any],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._manifest = manifest
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        self._arrays: Dict[str, np.ndarray] = {}
+        for name, dtype_str, shape, offset in manifest["arrays"]:
+            arr = np.ndarray(
+                tuple(shape),
+                dtype=np.dtype(dtype_str),
+                buffer=shm.buf,
+                offset=offset,
+            )
+            arr.flags.writeable = False
+            self._arrays[name] = arr
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        content_hash: str,
+        label: str = "store",
+    ) -> "SharedArrayStore":
+        """Allocate a segment holding ``arrays`` and copy them in.
+
+        Args:
+            arrays: Name → array.  Arrays are normalised to C-contiguous
+                (no-op for the kernel payloads, which already are).
+            content_hash: The owning snapshot's content hash (sha256
+                hex); embedded in the segment header for the attach-time
+                handshake.
+            label: Human-readable fragment of the segment name.
+        """
+        if len(content_hash) != _HASH_BYTES:
+            raise ServiceError(
+                f"content hash must be {_HASH_BYTES} hex chars, "
+                f"got {len(content_hash)}"
+            )
+        normalised = {
+            name: np.ascontiguousarray(arr) for name, arr in arrays.items()
+        }
+        specs = []
+        offset = _aligned(len(_MAGIC) + _HASH_BYTES)
+        for name, arr in normalised.items():
+            specs.append((name, arr.dtype.str, tuple(arr.shape), offset))
+            offset = _aligned(offset + arr.nbytes)
+        name = f"{SEGMENT_PREFIX}{label}-{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(offset, 1)
+        )
+        with _live_lock:
+            _live_segments[shm.name] = shm
+        shm.buf[: len(_MAGIC)] = _MAGIC
+        shm.buf[len(_MAGIC) : len(_MAGIC) + _HASH_BYTES] = content_hash.encode(
+            "ascii"
+        )
+        for (arr_name, dtype_str, shape, arr_offset), arr in zip(
+            specs, normalised.values()
+        ):
+            dst = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=arr_offset
+            )
+            dst[...] = arr
+        manifest = {
+            "segment": shm.name,
+            "content_hash": content_hash,
+            "size": shm.size,
+            "arrays": specs,
+            "tracker_pid": _tracker_pid(),
+        }
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: Dict[str, Any]) -> "SharedArrayStore":
+        """Map an existing segment from its manifest (worker side).
+
+        Verifies the header magic and performs the content-hash
+        handshake before exposing any array.
+
+        Raises:
+            ServiceError: Segment missing, not one of ours, or its
+                embedded content hash differs from the manifest's.
+        """
+        try:
+            shm = shared_memory.SharedMemory(name=manifest["segment"], create=False)
+        except FileNotFoundError as exc:
+            raise ServiceError(
+                f"shared segment {manifest['segment']!r} does not exist "
+                "(coordinator gone or already unlinked?)"
+            ) from exc
+        _untrack_if_foreign(shm.name, manifest.get("tracker_pid"))
+        magic = bytes(shm.buf[: len(_MAGIC)])
+        embedded = bytes(
+            shm.buf[len(_MAGIC) : len(_MAGIC) + _HASH_BYTES]
+        ).decode("ascii", errors="replace")
+        if magic != _MAGIC:
+            shm.close()
+            raise ServiceError(
+                f"segment {manifest['segment']!r} is not a MC2LS array store"
+            )
+        if embedded != manifest["content_hash"]:
+            shm.close()
+            raise ServiceError(
+                f"content-hash handshake failed for {manifest['segment']!r}: "
+                f"segment holds {embedded[:12]}, manifest promises "
+                f"{manifest['content_hash'][:12]}"
+            )
+        return cls(shm, manifest, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        """Picklable description (segment name, hash, array specs)."""
+        return self._manifest
+
+    @property
+    def content_hash(self) -> str:
+        return self._manifest["content_hash"]
+
+    @property
+    def segment_name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._manifest["size"]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if self._closed:
+            raise ServiceError(f"array store {self.segment_name!r} is closed")
+        return self._arrays[name]
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._arrays)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent; never unlinks).
+
+        Views handed out earlier keep the mapping alive at the OS level
+        until they are garbage collected; the name is unaffected either
+        way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            # A caller still holds views into the buffer; the mapping
+            # lives until they drop it, but this store stops handing out
+            # arrays and unlink (name removal) is unaffected.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only; idempotent)."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        with _live_lock:
+            _live_segments.pop(self._shm.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArrayStore({self.segment_name!r}, "
+            f"arrays={list(self._arrays)}, owner={self._owner})"
+        )

@@ -11,7 +11,7 @@ from .base import (
 from .baseline import BaselineGreedySolver
 from .budgeted import BudgetedGreedySolver
 from .capacitated import CapacitatedGreedySolver, CapacitatedOutcome
-from .coverage import CoverageMatrix, coverage_select
+from .coverage import CoverageMatrix, coverage_select, merged_exact_gain
 from .exact import ExactSolver
 from .iqt import IQTSolver, IQTVariant
 from .kcifp import AdaptedKCIFPSolver
@@ -41,6 +41,7 @@ __all__ = [
     "coverage_select",
     "greedy_select",
     "lazy_greedy_select",
+    "merged_exact_gain",
     "patch_resolution",
     "run_selection",
 ]

@@ -35,7 +35,7 @@ differential suite throws at it.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,22 @@ _COMPACT_FRACTION = 0.25
 
 class CoverageMatrix:
     """CSR densification of an influence table for vectorized selection.
+
+    **Array layout contract.**  The numeric payload is four C-contiguous
+    arrays with fixed dtypes — the shape the sharded execution layer maps
+    into :class:`~repro.service.SharedArrayStore` without conversion
+    copies (see :meth:`csr_arrays`):
+
+    * ``user_ids``: ``int64 (n_users,)``, strictly ascending.
+    * ``weights``: ``float64 (n_users,)``, per-user capture weight
+      (``1/(|F_o|+1)`` under evenly-split), aligned with ``user_ids``.
+    * ``indptr``: ``int64 (n_candidates + 1,)``, monotone segment
+      boundaries in candidate (ascending-cid) order.
+    * ``col``: ``int64 (nnz,)``, user indices per segment, ascending
+      within each segment.
+
+    Every construction path (``__init__``, :meth:`restrict`,
+    :meth:`patched`, :meth:`from_csr_arrays`) upholds the contract.
 
     Args:
         table: Resolved influence relationships.
@@ -103,7 +119,10 @@ class CoverageMatrix:
                 self.indptr[j + 1] = self.indptr[j] + len(seg)
             else:
                 self.indptr[j + 1] = self.indptr[j]
-        self.col = (
+        # np.concatenate always emits a fresh C-contiguous array; the
+        # ascontiguousarray is a documented no-op that pins the layout
+        # contract (csr_arrays() relies on it, mapping these zero-copy).
+        self.col = np.ascontiguousarray(
             np.concatenate(segments)
             if segments
             else np.zeros(0, dtype=np.int64)
@@ -132,6 +151,58 @@ class CoverageMatrix:
         covered[self.col[self.indptr[j] : self.indptr[j + 1]]] = True
 
     # ------------------------------------------------------------------
+    def csr_arrays(self) -> Dict[str, np.ndarray]:
+        """The kernel's numeric payload, ready for shared-memory mapping.
+
+        Returns the four arrays of the layout contract (class docstring):
+        ``user_ids`` int64 ``(n_users,)``, ``weights`` float64
+        ``(n_users,)``, ``indptr`` int64 ``(n_candidates + 1,)``, ``col``
+        int64 ``(nnz,)`` — all C-contiguous, so
+        ``SharedArrayStore.create`` copies them into a segment without a
+        conversion pass and :meth:`from_csr_arrays` on the mapped views
+        reconstructs a matrix whose kernels are bit-identical to this
+        one's.
+        """
+        payload = {
+            "user_ids": self.user_ids,
+            "weights": self.weights,
+            "indptr": self.indptr,
+            "col": self.col,
+        }
+        for name, arr in payload.items():
+            if not arr.flags.c_contiguous:  # pragma: no cover - contract
+                raise SolverError(f"CSR array {name!r} lost contiguity")
+        return payload
+
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        candidate_ids: Sequence[int],
+        user_ids: np.ndarray,
+        weights: np.ndarray,
+        indptr: np.ndarray,
+        col: np.ndarray,
+        table: InfluenceTable | None = None,
+    ) -> "CoverageMatrix":
+        """Rehydrate a matrix from its :meth:`csr_arrays` payload.
+
+        The arrays are adopted as-is (typically read-only shared-memory
+        views on a worker); ``_entry_w`` is the only derived allocation.
+        ``table`` is optional — workers run the numeric kernels only and
+        never consult it.
+        """
+        m = cls.__new__(cls)
+        m.table = table
+        m.candidate_ids = tuple(int(c) for c in candidate_ids)
+        m.user_ids = user_ids
+        m.weights = weights
+        m.indptr = indptr
+        m.col = col
+        m._entry_w = weights[col]
+        m.round0_bounds = None
+        return m
+
+    # ------------------------------------------------------------------
     def restrict(self, candidate_ids: Sequence[int]) -> "CoverageMatrix":
         """A sub-matrix over a candidate subset, sharing the user arrays.
 
@@ -142,6 +213,11 @@ class CoverageMatrix:
         over the restricted matrix is identical — including exact
         ``fsum`` gains — to building a fresh matrix for the subset,
         because every kept segment carries the same weight multiset.
+
+        The result upholds the class's array-layout contract: the
+        gathered ``col`` is a fresh C-contiguous int64 array (the shared
+        ``user_ids``/``weights`` already are), so restricted matrices
+        feed :meth:`csr_arrays` without conversion copies.
         """
         subset = tuple(sorted(set(int(c) for c in candidate_ids)))
         unknown = set(subset) - set(self.candidate_ids)
@@ -160,7 +236,10 @@ class CoverageMatrix:
             seg = self.col[self.indptr[j] : self.indptr[j + 1]]
             segments.append(seg)
             sub.indptr[i + 1] = sub.indptr[i] + len(seg)
-        sub.col = (
+        # The per-segment slices of self.col are views; concatenate
+        # gathers them into one fresh C-contiguous array (explicit no-op
+        # normalisation pins the layout contract).
+        sub.col = np.ascontiguousarray(
             np.concatenate(segments) if segments else np.zeros(0, dtype=np.int64)
         )
         sub._entry_w = sub.weights[sub.col]
@@ -272,7 +351,9 @@ class CoverageMatrix:
         rows = np.concatenate((kept_rows, ins_rows))
         cols = np.concatenate((kept_cols, ins_cols))
         order = np.lexsort((cols, rows))
-        new.col = cols[order]
+        # Fancy indexing materialises a fresh C-contiguous array; the
+        # splice therefore upholds the layout contract like __init__.
+        new.col = np.ascontiguousarray(cols[order])
         counts = np.bincount(rows, minlength=n)
         new.indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=new.indptr[1:])
@@ -330,6 +411,28 @@ class CoverageMatrix:
         if live.size == 0:
             return 0.0
         return math.fsum(self.weights[live].tolist())
+
+    def exact_live_counts(
+        self, j: int, covered: np.ndarray, winv: np.ndarray, n_distinct: int
+    ) -> np.ndarray:
+        """Per-distinct-weight counts of candidate ``j``'s live users.
+
+        ``winv`` maps each user index to its slot in a table of distinct
+        weight values (``np.unique(weights, return_inverse=True)``).  The
+        returned int64 count vector fully determines the live weight
+        *multiset*, so summing count vectors across user shards and
+        feeding the total to :func:`merged_exact_gain` reproduces
+        :meth:`exact_gain` of the whole matrix bit-for-bit — integer
+        count addition is exact, and ``fsum`` depends only on the
+        multiset, not on how it was partitioned.
+        """
+        seg = self.col[self.indptr[j] : self.indptr[j + 1]]
+        live = seg[~covered[seg]]
+        if live.size == 0:
+            return np.zeros(n_distinct, dtype=np.int64)
+        return np.bincount(winv[live], minlength=n_distinct).astype(
+            np.int64, copy=False
+        )
 
     # ------------------------------------------------------------------
     def select(
@@ -407,6 +510,22 @@ class CoverageMatrix:
             in_play[best_j] = False
             self.cover(best_j, covered)
         return GreedyOutcome(tuple(selected), sum(gains), tuple(gains), evaluations)
+
+
+def merged_exact_gain(distinct_w: np.ndarray, counts: np.ndarray) -> float:
+    """Exact gain from distinct weight values and their live counts.
+
+    ``fsum`` over the expanded multiset ``repeat(distinct_w, counts)`` is
+    correctly rounded, so it equals :meth:`CoverageMatrix.exact_gain`
+    computed over the same live users in one process — the coordinator
+    side of the cross-shard exact merge.  Under the evenly-split model
+    the weights take at most ``max |F_o| + 1`` distinct values
+    (``1/(c+1)``), so the expansion is tiny next to the user universe.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return 0.0
+    return math.fsum(np.repeat(distinct_w, counts).tolist())
 
 
 def coverage_select(

@@ -1,0 +1,64 @@
+"""Smoke test: the sharded-selection benchmark must run and record.
+
+Invokes ``benchmarks/bench_sharded_select.py --smoke`` the way CI does
+(as a subprocess) and asserts the sharded/single-process identity checks
+are green.  No speedup floor is asserted here: the smoke scale is tiny
+and worker processes time-slice however many cores the host exposes —
+identity is the invariant, the committed full-scale point carries the
+timings.  The smoke run writes to a temporary path so the committed
+``BENCH_sharded_select.json`` at the repo root is not overwritten.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_smoke_records_trajectory_point(tmp_path):
+    out_path = tmp_path / "BENCH_sharded_select.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_sharded_select.py"),
+            "--smoke",
+            "--out",
+            str(out_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out_path.exists()
+    payload = json.loads(out_path.read_text())
+    assert payload["benchmark"] == "sharded_select"
+    assert payload["n_users"] >= 2000
+    assert payload["cpu_count"] >= 1
+    assert payload["results_identical"] is True
+    for record in payload["workers"].values():
+        assert record["selections_equal"] is True
+        assert record["gains_equal"] is True
+        assert record["objective_equal"] is True
+        assert record["stats_equal"] is True
+        assert record["prepare"]["repeats"] >= 2
+        assert record["select"]["repeats"] >= 2
+
+
+def test_committed_trajectory_point_is_full_scale():
+    """The recorded repo-root point meets the acceptance floor."""
+    payload = json.loads((REPO_ROOT / "BENCH_sharded_select.json").read_text())
+    assert payload["n_users"] >= 500_000
+    assert payload["worker_counts"] == [1, 2, 4]
+    assert payload["results_identical"] is True
+    assert "cpu_count" in payload
+    for record in payload["workers"].values():
+        assert record["prepare"]["repeats"] >= 2
+        assert record["select"]["repeats"] >= 2

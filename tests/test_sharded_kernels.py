@@ -1,0 +1,232 @@
+"""Shard planning and shard-additivity of the selection kernels.
+
+The distributed greedy's correctness rests on two facts, property-tested
+here without any worker processes:
+
+* per-shard ``screened_gains`` summed across shards stays within the
+  merged tolerance of the exact whole-matrix gain, and
+* per-shard distinct-weight live counts summed across shards reproduce
+  the whole-matrix ``exact_gain`` **bit-for-bit** through
+  :func:`~repro.solvers.merged_exact_gain` — so a merged greedy round
+  (ascending-id ``gain > best`` scan) picks the same winner as
+  ``coverage_select``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.competition import InfluenceTable
+from repro.exceptions import SolverError
+from repro.service.sharding import ShardPlan, ShardedCoverageMatrix
+from repro.solvers import CoverageMatrix, coverage_select, merged_exact_gain
+from repro.solvers.coverage import _SUM_ULP
+
+
+def _random_matrix(rng, n_users=400, n_candidates=25):
+    sizes = np.clip(
+        rng.lognormal(mean=np.log(n_users / 8.0), sigma=0.9, size=n_candidates),
+        1,
+        n_users,
+    ).astype(np.int64)
+    omega = {
+        cid: set(rng.choice(n_users, size=int(sizes[cid]), replace=False).tolist())
+        for cid in range(n_candidates)
+    }
+    f_o = {
+        uid: set(range(500, 500 + int(c)))
+        for uid, c in enumerate(rng.integers(0, 5, size=n_users).tolist())
+    }
+    table = InfluenceTable.from_mappings(omega, f_o)
+    return table, CoverageMatrix(table, list(range(n_candidates)))
+
+
+def _shards(matrix, boundaries):
+    """Build per-shard views of ``matrix`` for the given row cuts."""
+    uw, winv = np.unique(matrix.weights, return_inverse=True)
+    winv = np.ascontiguousarray(winv.astype(np.int64))
+    plan = ShardPlan(tuple(boundaries))
+    shards = [
+        ShardedCoverageMatrix.from_global_arrays(
+            matrix.candidate_ids,
+            matrix.user_ids,
+            matrix.weights,
+            matrix.indptr,
+            matrix.col,
+            winv,
+            int(uw.shape[0]),
+            lo,
+            hi,
+        )
+        for lo, hi in plan
+    ]
+    return uw, shards
+
+
+def _random_boundaries(rng, n_users, n_shards):
+    cuts = np.sort(rng.choice(n_users + 1, size=n_shards - 1, replace=True))
+    return [0, *cuts.tolist(), n_users]
+
+
+# ----------------------------------------------------------------------
+# ShardPlan
+# ----------------------------------------------------------------------
+def test_balanced_plan_partitions_all_rows():
+    rng = np.random.default_rng(0)
+    for n, shards in [(1, 1), (7, 3), (100, 4), (100, 1), (1000, 7)]:
+        costs = rng.lognormal(0, 1, size=n)
+        plan = ShardPlan.balanced(costs, shards)
+        assert plan.n_shards == shards
+        bounds = plan.boundaries
+        assert bounds[0] == 0 and bounds[-1] == n
+        assert all(a <= b for a, b in zip(bounds, bounds[1:]))
+        # Every row lands in exactly one shard.
+        assert sum(hi - lo for lo, hi in plan) == n
+        # Enough rows -> every shard is non-empty.
+        assert all(hi > lo for lo, hi in plan)
+
+
+def test_balanced_plan_pads_empty_tail_shards():
+    """More shards than rows: the tail shards are empty, never dropped —
+    a fixed-size worker fleet must receive one shard each."""
+    plan = ShardPlan.balanced([1.0, 1.0, 1.0], 5)
+    assert plan.n_shards == 5
+    sizes = [hi - lo for lo, hi in plan]
+    assert sizes == [1, 1, 1, 0, 0]
+
+
+def test_balanced_plan_tracks_cost_skew():
+    # All the cost in the first rows: the first shard must be small.
+    costs = np.zeros(100)
+    costs[:10] = 100.0
+    costs[10:] = 1.0
+    plan = ShardPlan.balanced(costs, 2)
+    lo, hi = plan.shard(0)
+    assert hi - lo < 50
+
+
+def test_balanced_plan_rejects_zero_rows():
+    with pytest.raises(SolverError):
+        ShardPlan.balanced([], 2)
+
+
+# ----------------------------------------------------------------------
+# Shard additivity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(5))
+def test_screened_gains_shard_additive_within_tolerance(seed):
+    """Merged screened intervals always contain the exact gain."""
+    rng = np.random.default_rng(seed)
+    table, matrix = _random_matrix(rng)
+    n_users = matrix.n_users
+    uw, shards = _shards(matrix, _random_boundaries(rng, n_users, rng.integers(2, 6)))
+    covered = rng.random(n_users) < 0.3
+    js = np.arange(len(matrix.candidate_ids), dtype=np.int64)
+
+    g = np.zeros(js.shape[0])
+    t = np.zeros(js.shape[0])
+    for shard in shards:
+        sg, st = shard.screened_gains(js, covered[shard.lo : shard.hi])
+        g += sg
+        t += st
+    t += len(shards) * _SUM_ULP * g
+
+    for i, j in enumerate(js.tolist()):
+        exact = matrix.exact_gain(j, covered)
+        assert g[i] - t[i] <= exact <= g[i] + t[i]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_merged_exact_counts_match_exact_gain_bitwise(seed):
+    """Summed per-shard live counts reproduce exact_gain bit-for-bit."""
+    rng = np.random.default_rng(100 + seed)
+    table, matrix = _random_matrix(rng)
+    n_users = matrix.n_users
+    uw, shards = _shards(matrix, _random_boundaries(rng, n_users, rng.integers(2, 6)))
+    covered = rng.random(n_users) < 0.4
+
+    for j in range(len(matrix.candidate_ids)):
+        counts = sum(
+            shard.exact_live_counts(j, covered[shard.lo : shard.hi])
+            for shard in shards
+        )
+        merged = merged_exact_gain(uw, counts)
+        assert merged == matrix.exact_gain(j, covered)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_merged_greedy_rounds_match_coverage_select(seed):
+    """A merged greedy (exact confirm + ascending-id scan over shards)
+    selects identically to the single-process kernel, tie-breaks
+    included."""
+    rng = np.random.default_rng(200 + seed)
+    table, matrix = _random_matrix(rng, n_users=300, n_candidates=20)
+    n_users = matrix.n_users
+    k = 6
+    uw, shards = _shards(matrix, _random_boundaries(rng, n_users, 4))
+
+    covered = [s.new_covered_mask() for s in shards]
+    in_play = np.ones(len(matrix.candidate_ids), dtype=bool)
+    selected, gains = [], []
+    for _ in range(k):
+        best_j, best_gain = -1, -1.0
+        for j in np.flatnonzero(in_play).tolist():  # ascending candidate id
+            counts = sum(
+                s.exact_live_counts(j, covered[i]) for i, s in enumerate(shards)
+            )
+            gain = merged_exact_gain(uw, counts)
+            if gain > best_gain:
+                best_gain, best_j = gain, j
+        selected.append(matrix.candidate_ids[best_j])
+        gains.append(best_gain)
+        in_play[best_j] = False
+        for i, s in enumerate(shards):
+            s.cover(best_j, covered[i])
+
+    ref = coverage_select(table, list(matrix.candidate_ids), k)
+    assert tuple(selected) == ref.selected
+    assert tuple(gains) == ref.gains
+    assert sum(gains) == ref.objective
+
+
+def test_degenerate_shards_are_harmless():
+    """Empty shards contribute zero gains and zero counts."""
+    rng = np.random.default_rng(7)
+    table, matrix = _random_matrix(rng, n_users=50, n_candidates=8)
+    uw, shards = _shards(matrix, [0, 0, 25, 25, 50, 50])
+    covered = np.zeros(50, dtype=bool)
+    js = np.arange(8, dtype=np.int64)
+    empties = [s for s in shards if s.hi == s.lo]
+    assert empties
+    for s in empties:
+        g, t = s.screened_gains(js, covered[s.lo : s.hi])
+        assert not g.any() and not t.any()
+        assert not s.exact_live_counts(0, covered[s.lo : s.hi]).any()
+
+
+# ----------------------------------------------------------------------
+# CSR payload contract (mappability into SharedArrayStore)
+# ----------------------------------------------------------------------
+def test_csr_arrays_contract_and_roundtrip():
+    rng = np.random.default_rng(3)
+    table, matrix = _random_matrix(rng, n_users=120, n_candidates=10)
+    payload = matrix.csr_arrays()
+    assert payload["user_ids"].dtype == np.int64
+    assert payload["weights"].dtype == np.float64
+    assert payload["indptr"].dtype == np.int64
+    assert payload["col"].dtype == np.int64
+    for arr in payload.values():
+        assert arr.flags.c_contiguous
+    rebuilt = CoverageMatrix.from_csr_arrays(
+        matrix.candidate_ids, **payload, table=table
+    )
+    ref = matrix.select(4)
+    out = rebuilt.select(4)
+    assert out.selected == ref.selected and out.gains == ref.gains
+
+
+def test_restrict_and_patched_stay_contiguous():
+    rng = np.random.default_rng(4)
+    table, matrix = _random_matrix(rng, n_users=120, n_candidates=10)
+    sub = matrix.restrict(list(range(0, 10, 2)))
+    for arr in sub.csr_arrays().values():
+        assert arr.flags.c_contiguous

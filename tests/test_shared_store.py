@@ -1,0 +1,172 @@
+"""SharedArrayStore: lifecycle, handshake, and leak-proof cleanup."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.shared import (
+    SEGMENT_PREFIX,
+    SharedArrayStore,
+    live_segment_names,
+)
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+def _devshm_segments():
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+@pytest.fixture
+def arrays():
+    return {
+        "ints": np.arange(10, dtype=np.int64),
+        "floats": np.linspace(0.0, 1.0, 7),
+        "matrix": np.arange(12, dtype=np.float64).reshape(3, 4),
+    }
+
+
+def test_create_attach_roundtrip(arrays):
+    with SharedArrayStore.create(arrays, HASH_A) as store:
+        assert store.content_hash == HASH_A
+        assert set(store.keys()) == set(arrays)
+        attached = SharedArrayStore.attach(store.manifest)
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(store[name], arr)
+            np.testing.assert_array_equal(attached[name], arr)
+            assert attached[name].dtype == arr.dtype
+            assert attached[name].flags.c_contiguous
+        attached.close()
+    assert not _devshm_segments()
+
+
+def test_attached_views_are_readonly(arrays):
+    with SharedArrayStore.create(arrays, HASH_A) as store:
+        attached = SharedArrayStore.attach(store.manifest)
+        with pytest.raises(ValueError):
+            attached["ints"][0] = 99
+        attached.close()
+
+
+def test_non_contiguous_input_is_normalised():
+    strided = np.arange(20, dtype=np.float64)[::2]
+    assert not strided.flags.c_contiguous or strided.base is not None
+    with SharedArrayStore.create({"a": strided}, HASH_A) as store:
+        np.testing.assert_array_equal(store["a"], strided)
+        assert store["a"].flags.c_contiguous
+
+
+def test_hash_handshake_rejects_mismatch(arrays):
+    with SharedArrayStore.create(arrays, HASH_A) as store:
+        forged = dict(store.manifest)
+        forged["content_hash"] = HASH_B
+        with pytest.raises(ServiceError, match="handshake"):
+            SharedArrayStore.attach(forged)
+
+
+def test_attach_missing_segment_raises(arrays):
+    store = SharedArrayStore.create(arrays, HASH_A)
+    manifest = store.manifest
+    store.close()
+    store.unlink()
+    with pytest.raises(ServiceError, match="does not exist"):
+        SharedArrayStore.attach(manifest)
+
+
+def test_attach_rejects_foreign_segment():
+    """A segment without our header magic is refused."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=256)
+    try:
+        manifest = {
+            "segment": shm.name,
+            "content_hash": HASH_A,
+            "size": shm.size,
+            "arrays": [],
+            "tracker_pid": None,
+        }
+        with pytest.raises(ServiceError, match="not a MC2LS array store"):
+            SharedArrayStore.attach(manifest)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def test_close_and_unlink_are_idempotent(arrays):
+    store = SharedArrayStore.create(arrays, HASH_A)
+    name = store.segment_name
+    assert name in live_segment_names()
+    store.close()
+    store.close()
+    store.unlink()
+    store.unlink()
+    assert name not in live_segment_names()
+    assert not _devshm_segments()
+
+
+def test_close_blocks_access(arrays):
+    store = SharedArrayStore.create(arrays, HASH_A)
+    store.close()
+    with pytest.raises(ServiceError, match="closed"):
+        store["ints"]
+    store.unlink()
+
+
+def test_attacher_never_unlinks(arrays):
+    store = SharedArrayStore.create(arrays, HASH_A)
+    attached = SharedArrayStore.attach(store.manifest)
+    attached.close()
+    attached.unlink()  # non-owner: must be a no-op
+    again = SharedArrayStore.attach(store.manifest)
+    np.testing.assert_array_equal(again["ints"], arrays["ints"])
+    again.close()
+    store.close()
+    store.unlink()
+
+
+def test_registry_tracks_ownership(arrays):
+    store = SharedArrayStore.create(arrays, HASH_A)
+    assert store.segment_name in live_segment_names()
+    attached = SharedArrayStore.attach(store.manifest)
+    # Attaching never registers with the owner-side atexit guard.
+    assert live_segment_names().count(store.segment_name) == 1
+    attached.close()
+    store.close()
+    store.unlink()
+    assert store.segment_name not in live_segment_names()
+
+
+def test_bad_hash_length_rejected(arrays):
+    with pytest.raises(ServiceError, match="hex chars"):
+        SharedArrayStore.create(arrays, "abc")
+
+
+def test_atexit_guard_cleans_orphans_in_subprocess(tmp_path):
+    """A process that creates a store and exits uncleanly (no unlink call)
+    still leaves /dev/shm clean thanks to the atexit guard."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    script = tmp_path / "orphan.py"
+    script.write_text(
+        "import sys\n"
+        f"sys.path.insert(0, {str(repo / 'src')!r})\n"
+        "import numpy as np\n"
+        "from repro.service.shared import SharedArrayStore\n"
+        "store = SharedArrayStore.create({'a': np.arange(4.0)}, 'c' * 64)\n"
+        "print(store.segment_name)\n"
+        "sys.exit(0)\n"  # exits without close/unlink
+    )
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=60
+    )
+    assert proc.returncode == 0, proc.stderr
+    name = proc.stdout.strip()
+    assert name.startswith(SEGMENT_PREFIX)
+    assert not glob.glob(f"/dev/shm/{name}*")
