@@ -13,7 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Tuple
 
-from .competition import InfluenceTable, cinf_group, covered_users
+from .competition import InfluenceTable, covered_users
+from .solvers.coverage import CoverageMatrix
 
 
 def selection_jaccard(a: Sequence[int], b: Sequence[int]) -> float:
@@ -109,10 +110,22 @@ def marginal_curve(table: InfluenceTable, selected: Sequence[int]) -> List[Tuple
 
     Reading the knee off this curve is the budget-sizing question the
     billboard example walks through.
+
+    One CSR densification plus an incrementally grown coverage mask —
+    ``fsum`` over each prefix's covered-weight multiset is bit-equal to
+    the per-prefix :func:`~repro.competition.cinf_group` rebuild it
+    replaces (the scalar oracle the differential suite still pins
+    against), without re-walking Python sets per prefix.
     """
+    if not selected:
+        return []
+    matrix = CoverageMatrix(table.restricted(set(selected)), sorted(set(selected)))
+    index = {cid: j for j, cid in enumerate(matrix.candidate_ids)}
+    covered = matrix.new_covered_mask()
     curve = []
-    for i in range(1, len(selected) + 1):
-        curve.append((i, cinf_group(table, list(selected[:i]))))
+    for i, cid in enumerate(selected, start=1):
+        matrix.cover(index[cid], covered)
+        curve.append((i, math.fsum(matrix.weights[covered].tolist())))
     return curve
 
 
@@ -121,12 +134,20 @@ def drop_one_regret(table: InfluenceTable, selected: Sequence[int]) -> Dict[int,
 
     Sites with near-zero regret are candidates for divestment; the sum of
     regrets understates ``cinf`` exactly by the overlap structure.
+
+    Shares a single :class:`~repro.solvers.CoverageMatrix` across the
+    ``|G| + 1`` group evaluations (one vectorized union each) instead of
+    rebuilding per-user sets per drop; values are bit-equal to the
+    scalar :func:`~repro.competition.cinf_group` path.
     """
-    full = cinf_group(table, list(selected))
+    if not selected:
+        return {}
+    matrix = CoverageMatrix(table.restricted(set(selected)), sorted(set(selected)))
+    full = matrix.objective_of(list(selected))
     out = {}
     for cid in selected:
         rest = [c for c in selected if c != cid]
-        out[cid] = full - cinf_group(table, rest)
+        out[cid] = full - matrix.objective_of(rest)
     return out
 
 

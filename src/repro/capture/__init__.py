@@ -1,0 +1,51 @@
+"""Pluggable capture subsystem: set-aware customer-choice models.
+
+The paper's evenly-split competition model is the degenerate
+*set-independent* case of the :class:`CaptureModel` strategy contract
+defined here; MNL and fixed-worlds simulation-based capture are the
+set-aware members.  See :mod:`repro.capture.base` for the contract,
+:mod:`repro.capture.registry` for the named-spec plumbing that threads
+models through CLI flags and serving-cache keys, and
+:mod:`repro.capture.best_response` for the two-player round.
+"""
+
+from .base import CaptureModel, CaptureState, SetIndependentCapture
+from .best_response import BestResponseReport, best_response_round, rival_table
+from .csr import densify_coverage
+from .mnl import MNLCaptureModel
+from .registry import (
+    DEFAULT_CAPTURE_KEY,
+    REGISTERED_MODELS,
+    CaptureSpec,
+    evenly_split_capture,
+)
+from .select import capture_select
+from .utilities import (
+    SiteUtilities,
+    pair_uniforms,
+    rival_candidate_id,
+    rival_competitor_id,
+)
+from .worlds import MAX_WORLDS, FixedWorldsCaptureModel
+
+__all__ = [
+    "BestResponseReport",
+    "CaptureModel",
+    "CaptureSpec",
+    "CaptureState",
+    "DEFAULT_CAPTURE_KEY",
+    "FixedWorldsCaptureModel",
+    "MAX_WORLDS",
+    "MNLCaptureModel",
+    "REGISTERED_MODELS",
+    "SetIndependentCapture",
+    "SiteUtilities",
+    "best_response_round",
+    "capture_select",
+    "densify_coverage",
+    "evenly_split_capture",
+    "pair_uniforms",
+    "rival_candidate_id",
+    "rival_competitor_id",
+    "rival_table",
+]

@@ -1,0 +1,58 @@
+"""CSR densification of coverage pairs for the set-aware capture states.
+
+The same candidate-major layout as :class:`~repro.solvers.CoverageMatrix`
+(``indptr``/``col`` over a sorted user universe), but without the
+set-independent per-user weight vector — set-aware models attach their
+own per-*entry* masses or world bitmasks instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..competition import InfluenceTable
+
+
+def densify_coverage(
+    table: InfluenceTable, candidate_ids: Sequence[int]
+) -> Tuple[Tuple[int, ...], np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate-major CSR arrays of a table's coverage pairs.
+
+    Returns ``(cids, user_ids, indptr, col, entry_cid)``:
+
+    * ``cids`` — the candidate ids, ascending;
+    * ``user_ids`` — int64 sorted universe of covered users;
+    * ``indptr`` — int64 segment boundaries, one segment per candidate;
+    * ``col`` — int64 user indices per segment, ascending within each;
+    * ``entry_cid`` — int64 candidate id per CSR entry (``col``-aligned),
+      the hook for per-pair deterministic sampling.
+    """
+    cids: Tuple[int, ...] = tuple(sorted(int(c) for c in candidate_ids))
+    universe: set = set()
+    for cid in cids:
+        universe |= table.omega_c.get(cid, set())
+    user_ids = np.fromiter(sorted(universe), dtype=np.int64, count=len(universe))
+    indptr = np.zeros(len(cids) + 1, dtype=np.int64)
+    segments = []
+    cid_segments = []
+    for j, cid in enumerate(cids):
+        users = table.omega_c.get(cid)
+        if users:
+            seg = np.fromiter(users, dtype=np.int64, count=len(users))
+            seg.sort()
+            segments.append(np.searchsorted(user_ids, seg))
+            cid_segments.append(np.full(len(seg), cid, dtype=np.int64))
+            indptr[j + 1] = indptr[j] + len(seg)
+        else:
+            indptr[j + 1] = indptr[j]
+    col = (
+        np.concatenate(segments) if segments else np.zeros(0, dtype=np.int64)
+    )
+    entry_cid = (
+        np.concatenate(cid_segments)
+        if cid_segments
+        else np.zeros(0, dtype=np.int64)
+    )
+    return cids, user_ids, indptr, col, entry_cid

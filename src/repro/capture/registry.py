@@ -1,0 +1,172 @@
+"""Capture-model registry: named, parameterised, cache-keyed specs.
+
+A :class:`CaptureSpec` is the *portable* identity of a capture model —
+a frozen, hashable ``(name, params)`` record that travels through CLI
+flags and :class:`~repro.service.SelectionQuery` fields, joins the
+serving engine's cache keys via :meth:`CaptureSpec.cache_key`, and is
+materialised into a live :class:`~repro.capture.CaptureModel` against a
+concrete dataset with :meth:`CaptureSpec.build` (models need the users'
+position histories and the instance ``PF`` to derive utilities).
+
+Registered models:
+
+========================  ============  ===========  ====================
+name                      set-indep.    submodular   parameters
+========================  ============  ===========  ====================
+``evenly-split``          yes           yes          —
+``huff``                  yes           yes          ``huff_utility``
+``mnl``                   no            yes          ``mnl_beta``
+``fixed-worlds``          no            yes          ``mnl_beta``,
+                                                     ``worlds``,
+                                                     ``world_seed``
+========================  ============  ===========  ====================
+
+Unknown names raise :class:`~repro.exceptions.CaptureError` listing the
+registered models, so CLI typos fail with an actionable message.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..competition import CompetitionModel, EvenlySplitModel, InfluenceTable
+from ..entities import SpatialDataset
+from ..exceptions import CaptureError
+from ..influence import ProbabilityFunction
+from .base import CaptureModel, SetIndependentCapture
+from .mnl import MNLCaptureModel
+from .utilities import SiteUtilities
+from .worlds import FixedWorldsCaptureModel
+
+#: Names accepted by :class:`CaptureSpec` (and the CLI's
+#: ``--capture-model``), in presentation order.
+REGISTERED_MODELS: Tuple[str, ...] = (
+    "evenly-split",
+    "huff",
+    "mnl",
+    "fixed-worlds",
+)
+
+#: Cache key of the paper's default model; the sharded execution layer
+#: supports exactly this key (its distinct-weight merge hardcodes the
+#: ``1/(|F_o|+1)`` weight family).
+DEFAULT_CAPTURE_KEY: Tuple[object, ...] = ("evenly-split",)
+
+
+class _HuffWeights(CompetitionModel):
+    """Huff-style set-independent weights over :class:`SiteUtilities`.
+
+    Same semantics as :class:`~repro.competition.DistanceWeightedModel`
+    (share proportional to utility against the competitor utility mass)
+    but routed through the shared utility table, so it resolves the
+    two-player round's synthetic rival ids too.
+    """
+
+    def __init__(self, utilities: SiteUtilities, candidate_utility: float) -> None:
+        self._utilities = utilities
+        self._candidate_utility = candidate_utility
+        self._cache: Dict[int, float] = {}
+
+    def user_share(self, table: InfluenceTable, uid: int) -> float:
+        cached = self._cache.get(uid)
+        if cached is not None:
+            return cached
+        total = self._candidate_utility + math.fsum(
+            self._utilities.competitor_utility(fid, uid)
+            for fid in table.f_o.get(uid, ())
+        )
+        share = self._candidate_utility / total if total > 0 else 0.0
+        self._cache[uid] = share
+        return share
+
+    def __repr__(self) -> str:
+        return f"_HuffWeights(candidate_utility={self._candidate_utility})"
+
+
+def evenly_split_capture() -> SetIndependentCapture:
+    """The paper's model through the capture contract (degenerate case)."""
+    return SetIndependentCapture(
+        EvenlySplitModel(), "evenly-split", DEFAULT_CAPTURE_KEY
+    )
+
+
+@dataclass(frozen=True)
+class CaptureSpec:
+    """Portable, hashable identity of a capture model.
+
+    Attributes:
+        model: Registered model name (see :data:`REGISTERED_MODELS`).
+        mnl_beta: Choice sharpness ``β`` (``mnl`` / ``fixed-worlds``).
+        worlds: Sampled world count (``fixed-worlds``; at most 64).
+        world_seed: World seed (``fixed-worlds``); part of the cache
+            key, so cached results are bound to their exact worlds.
+        huff_utility: New-candidate utility (``huff``).
+    """
+
+    model: str = "evenly-split"
+    mnl_beta: float = 1.0
+    worlds: int = 32
+    world_seed: int = 0
+    huff_utility: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.model not in REGISTERED_MODELS:
+            raise CaptureError(
+                f"unknown capture model {self.model!r}; registered models: "
+                + ", ".join(REGISTERED_MODELS)
+            )
+
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple[object, ...]:
+        """Model id plus its objective-relevant parameters only.
+
+        Parameters foreign to the named model are excluded, so e.g. two
+        evenly-split specs with different (ignored) ``mnl_beta`` values
+        share cached work.
+        """
+        if self.model == "evenly-split":
+            return DEFAULT_CAPTURE_KEY
+        if self.model == "huff":
+            return ("huff", float(self.huff_utility))
+        if self.model == "mnl":
+            return ("mnl", float(self.mnl_beta))
+        return (
+            "fixed-worlds",
+            float(self.mnl_beta),
+            int(self.worlds),
+            int(self.world_seed),
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this spec names the paper's evenly-split model."""
+        return self.cache_key() == DEFAULT_CAPTURE_KEY
+
+    # ------------------------------------------------------------------
+    def build(
+        self, dataset: SpatialDataset, pf: ProbabilityFunction
+    ) -> CaptureModel:
+        """Materialise the model against a concrete dataset and ``PF``."""
+        if self.model == "evenly-split":
+            return evenly_split_capture()
+        utilities = SiteUtilities(dataset, pf)
+        if self.model == "huff":
+            if self.huff_utility <= 0:
+                raise CaptureError(
+                    f"huff utility must be positive, got {self.huff_utility}"
+                )
+            return SetIndependentCapture(
+                _HuffWeights(utilities, float(self.huff_utility)),
+                "huff",
+                self.cache_key(),
+            )
+        if self.model == "mnl":
+            return MNLCaptureModel(utilities, beta=self.mnl_beta)
+        return FixedWorldsCaptureModel(
+            utilities,
+            beta=self.mnl_beta,
+            n_worlds=self.worlds,
+            seed=self.world_seed,
+        )

@@ -1,0 +1,167 @@
+"""Simulation-based capture over fixed sampled choice worlds.
+
+For choice models with no closed-form capture probability, the model-free
+route (arXiv 2203.11329) is to *simulate* customer choices and average.
+Naively re-sampling per objective evaluation breaks greedy — sampling
+noise destroys monotonicity ties — so, exactly like the social layer's
+:class:`~repro.social.CascadeSampler`, the worlds are fixed up front:
+
+* In world ``w``, candidate ``c`` wins user ``o`` head-to-head against
+  ``o``'s competitor context with probability
+  ``p_{c,o} = w_{c,o} / (w_{c,o} + D_o)`` (the MNL masses of
+  :mod:`repro.capture.mnl`); the outcome is decided by a **counter-based
+  deterministic coin** — a splitmix64 hash of ``(seed, c, o, w)``
+  (:func:`~repro.capture.utilities.pair_uniforms`) — so a pair's coins
+  depend only on the seed, never on table composition or draw order.
+* A user is captured in world ``w`` iff *some* selected covering
+  candidate wins it there; the objective is the mean captured-user count
+  across worlds.
+
+Per world the objective is a coverage function of ``G`` (a union of
+per-candidate captured-user sets), so the average is **exactly**
+monotone submodular — not just in expectation — and fully deterministic
+given the seed: the estimate is cache-safe and the serving engine keys
+it by ``(worlds, seed, β)``.
+
+The state packs each coverage pair's ``W ≤ 64`` world outcomes into one
+``uint64`` bitmask; a candidate's marginal gain is a single vectorized
+``popcount(entry_bits & ~captured_bits)`` pass over its CSR segment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+from ..competition import InfluenceTable
+from ..exceptions import CaptureError
+from .base import CaptureModel, CaptureState
+from .csr import densify_coverage
+from .mnl import MNLCaptureModel
+from .utilities import SiteUtilities, pair_uniforms
+
+#: Hard cap: world outcomes are packed into a single uint64 bitmask.
+MAX_WORLDS = 64
+
+
+class _WorldsState(CaptureState):
+    """Vectorized marginal-gain oracle over packed world bitmasks."""
+
+    def __init__(
+        self,
+        candidate_ids: Tuple[int, ...],
+        indptr: np.ndarray,
+        col: np.ndarray,
+        entry_bits: np.ndarray,
+        n_users: int,
+        n_worlds: int,
+    ) -> None:
+        self.candidate_ids = candidate_ids
+        self._indptr = indptr
+        self._col = col
+        self._entry_bits = entry_bits
+        self._captured = np.zeros(n_users, dtype=np.uint64)
+        self._n_worlds = n_worlds
+
+    def gain(self, j: int) -> float:
+        lo, hi = self._indptr[j], self._indptr[j + 1]
+        if lo == hi:
+            return 0.0
+        seg = self._col[lo:hi]
+        fresh = self._entry_bits[lo:hi] & ~self._captured[seg]
+        return float(np.bitwise_count(fresh).sum(dtype=np.int64)) / self._n_worlds
+
+    def add(self, j: int) -> None:
+        lo, hi = self._indptr[j], self._indptr[j + 1]
+        seg = self._col[lo:hi]
+        self._captured[seg] |= self._entry_bits[lo:hi]
+
+
+class FixedWorldsCaptureModel(CaptureModel):
+    """Set-aware simulation-based capture over fixed choice worlds.
+
+    Args:
+        utilities: Shared per-(site, user) utility table.
+        beta: Choice-sharpness of the underlying head-to-head masses.
+        n_worlds: Number of sampled worlds (``1 ≤ n_worlds ≤ 64``).
+        seed: World seed; part of :meth:`cache_key`, so cached serving
+            results are bound to the exact worlds that produced them.
+    """
+
+    name = "fixed-worlds"
+    submodular = True
+    set_independent = False
+
+    def __init__(
+        self,
+        utilities: SiteUtilities,
+        beta: float = 1.0,
+        n_worlds: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= n_worlds <= MAX_WORLDS:
+            raise CaptureError(
+                f"n_worlds must be in [1, {MAX_WORLDS}] "
+                f"(uint64 world bitmask), got {n_worlds}"
+            )
+        self._mnl = MNLCaptureModel(utilities, beta=beta)
+        self._utilities = utilities
+        self.beta = float(beta)
+        self.n_worlds = int(n_worlds)
+        self.seed = int(seed)
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return ("fixed-worlds", self.beta, self.n_worlds, self.seed)
+
+    # ------------------------------------------------------------------
+    def _pair_bits(
+        self, table: InfluenceTable, cids: np.ndarray, uids: np.ndarray
+    ) -> np.ndarray:
+        """Packed world-outcome bitmask per (candidate, user) pair."""
+        if cids.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        p = np.empty(cids.size, dtype=np.float64)
+        for i, (cid, uid) in enumerate(zip(cids.tolist(), uids.tolist())):
+            w = self._mnl._candidate_weight(cid, uid)
+            p[i] = w / (w + self._mnl._fixed_mass(table, uid))
+        wins = pair_uniforms(self.seed, cids, uids, self.n_worlds) < p[:, None]
+        powers = np.uint64(1) << np.arange(self.n_worlds, dtype=np.uint64)
+        return (wins.astype(np.uint64) * powers[None, :]).sum(
+            axis=1, dtype=np.uint64
+        )
+
+    # ------------------------------------------------------------------
+    def capture_weights(
+        self,
+        table: InfluenceTable,
+        user_ids: Sequence[int],
+        selected: Set[int],
+    ) -> np.ndarray:
+        sel = sorted(int(c) for c in selected)
+        out = np.zeros(len(user_ids), dtype=np.float64)
+        for i, uid in enumerate(user_ids):
+            uid = int(uid)
+            covering = [cid for cid in sel if uid in table.omega_c.get(cid, ())]
+            if not covering:
+                continue
+            bits = self._pair_bits(
+                table,
+                np.asarray(covering, dtype=np.int64),
+                np.full(len(covering), uid, dtype=np.int64),
+            )
+            captured = np.bitwise_or.reduce(bits) if bits.size else np.uint64(0)
+            out[i] = float(np.bitwise_count(captured)) / self.n_worlds
+        return out
+
+    # ------------------------------------------------------------------
+    def make_state(
+        self, table: InfluenceTable, candidate_ids: Sequence[int]
+    ) -> _WorldsState:
+        cids, user_ids, indptr, col, entry_cid = densify_coverage(
+            table, candidate_ids
+        )
+        entry_bits = self._pair_bits(table, entry_cid, user_ids[col])
+        return _WorldsState(
+            cids, indptr, col, entry_bits, len(user_ids), self.n_worlds
+        )

@@ -5,6 +5,8 @@ Commands:
 * ``solve``    — solve one MC²LS instance and print the selection.
 * ``compare``  — run all four algorithms on one instance, check they
   agree, and print the runtime/work comparison.
+* ``compete``  — play a two-player best-response round (leader solve,
+  rival best response, erosion accounting, leader re-solve).
 * ``serve``    — run a what-if query batch through the serving engine
   and print per-query cache provenance plus engine stats.
 * ``stats``    — print the distribution statistics of a dataset.
@@ -15,6 +17,12 @@ Datasets are either the calibrated synthetic populations (``--dataset c``
 ``solve`` and ``compare`` accept ``--no-batch-verify`` /
 ``--no-fast-select`` to fall back to the scalar verification and
 selection kernels (the ablation knobs, otherwise on by default).
+
+``solve`` / ``compare`` / ``serve`` / ``compete`` accept
+``--capture-model`` to swap the customer-choice capture model (the
+paper's ``evenly-split`` by default; ``huff``, ``mnl``, ``fixed-worlds``
+via :mod:`repro.capture`), plus its parameters ``--mnl-beta``,
+``--worlds``, ``--world-seed`` and ``--huff-utility``.
 """
 
 from __future__ import annotations
@@ -27,7 +35,9 @@ from typing import Optional, Sequence
 from .bench.reporting import format_table
 from .data import california_like, compute_stats, load_checkins, new_york_like
 from .entities import SpatialDataset
+from .capture import CaptureSpec
 from .exceptions import ReproError
+from .influence import paper_default_pf
 from .solvers import (
     AdaptedKCIFPSolver,
     BaselineGreedySolver,
@@ -77,6 +87,43 @@ def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
              "vectorized CSR kernel (results are identical)")
 
 
+def _add_capture_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--capture-model", default="evenly-split", metavar="MODEL",
+        help="customer-choice capture model: evenly-split (paper default), "
+             "huff, mnl, or fixed-worlds; unknown names list the registry")
+    parser.add_argument(
+        "--mnl-beta", type=float, default=1.0, metavar="B",
+        help="choice sharpness for mnl / fixed-worlds (default: 1.0)")
+    parser.add_argument(
+        "--worlds", type=int, default=32, metavar="W",
+        help="sampled worlds for fixed-worlds, at most 64 (default: 32)")
+    parser.add_argument(
+        "--world-seed", type=int, default=0, metavar="S",
+        help="world seed for fixed-worlds; results are deterministic "
+             "per seed (default: 0)")
+    parser.add_argument(
+        "--huff-utility", type=float, default=0.5, metavar="U",
+        help="new-candidate utility for huff (default: 0.5)")
+
+
+def _capture_spec(args: argparse.Namespace) -> CaptureSpec:
+    """The query/problem capture spec named by the CLI flags.
+
+    Unknown model names raise
+    :class:`~repro.exceptions.CaptureError` (a :class:`ReproError`)
+    listing every registered model, which ``main`` renders as the
+    actionable CLI error.
+    """
+    return CaptureSpec(
+        model=args.capture_model,
+        mnl_beta=args.mnl_beta,
+        worlds=args.worlds,
+        world_seed=args.world_seed,
+        huff_utility=args.huff_utility,
+    )
+
+
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=("c", "n"), default="c",
                         help="calibrated synthetic population (default: c)")
@@ -104,11 +151,19 @@ def _build_dataset(args: argparse.Namespace) -> SpatialDataset:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    problem = MC2LSProblem(dataset, k=args.k, tau=args.tau)
+    spec = _capture_spec(args)
+    problem = MC2LSProblem(
+        dataset,
+        k=args.k,
+        tau=args.tau,
+        capture=None if spec.is_default else spec.build(
+            dataset, paper_default_pf()
+        ),
+    )
     solver: Solver = _make_solver(args.solver, args)
     result = solver.solve(problem)
     print(dataset.describe())
-    print(f"kernels: {_kernel_label(solver)}")
+    print(f"kernels: {_kernel_label(solver)}   capture: {spec.model}")
     rows = [
         {
             "round": i + 1,
@@ -126,8 +181,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    problem = MC2LSProblem(dataset, k=args.k, tau=args.tau)
+    spec = _capture_spec(args)
+    problem = MC2LSProblem(
+        dataset,
+        k=args.k,
+        tau=args.tau,
+        capture=None if spec.is_default else spec.build(
+            dataset, paper_default_pf()
+        ),
+    )
     print(dataset.describe())
+    print(f"capture: {spec.model}")
     rows = []
     reference = None
     for name in _SOLVERS:
@@ -174,6 +238,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import SelectionEngine, SelectionQuery
 
     dataset = _build_dataset(args)
+    spec = _capture_spec(args)
     taus = [float(t) for t in args.taus.split(",") if t]
     ks = list(range(1, args.k_max + 1))
     queries = [
@@ -183,6 +248,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             solver=args.solver,
             batch_verify=not args.no_batch_verify,
             fast_select=not args.no_fast_select,
+            capture=None if spec.is_default else spec,
         )
         for tau in taus
         for k in ks
@@ -245,7 +311,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"sharded execution: workers={sharded['workers']} "
                   f"queries={sharded['queries']} "
                   f"fallbacks={sharded['fallbacks']} "
-                  f"failures={sharded['failures']}")
+                  f"failures={sharded['failures']} "
+                  f"capture_fallbacks={sharded['capture_fallbacks']} "
+                  f"(supported: {', '.join(sharded['capture_supported'])})")
+    return 0
+
+
+def _cmd_compete(args: argparse.Namespace) -> int:
+    from .capture import best_response_round
+
+    dataset = _build_dataset(args)
+    spec = _capture_spec(args)
+    pf = paper_default_pf()
+    solver: Solver = _make_solver(args.solver, args)
+    resolved = solver.resolve(dataset, args.tau, pf)
+    model = spec.build(dataset, pf)
+    report = best_response_round(
+        resolved.table,
+        [c.fid for c in dataset.candidates],
+        args.k,
+        model,
+        k_rival=args.k_rival,
+        fast=not args.no_fast_select,
+    )
+    print(dataset.describe())
+    print(f"capture: {spec.model}   solver: {solver.name}   "
+          f"k = {args.k}   k_rival = {args.k_rival or args.k}\n")
+    rows = [
+        {"phase": "leader (uncontested)",
+         "selected": ",".join(map(str, report.leader_initial)),
+         "objective": report.leader_objective},
+        {"phase": "rival best response",
+         "selected": ",".join(map(str, report.rival_selected)),
+         "objective": report.rival_objective},
+        {"phase": "leader (eroded)",
+         "selected": ",".join(map(str, report.leader_initial)),
+         "objective": report.eroded_objective},
+        {"phase": "leader (re-solved)",
+         "selected": ",".join(map(str, report.leader_adapted)),
+         "objective": report.adapted_objective},
+    ]
+    print(format_table(rows))
+    print(f"\ncapture erosion = {report.erosion:.4f} "
+          f"({report.erosion_fraction:.1%} of uncontested)   "
+          f"recovered by re-solving = {report.recovered:.4f}")
     return 0
 
 
@@ -279,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--k", type=int, default=5)
     solve.add_argument("--tau", type=float, default=0.7)
     solve.add_argument("--solver", choices=sorted(_SOLVERS), default="iqt")
+    _add_capture_args(solve)
     solve.set_defaults(func=_cmd_solve)
 
     compare = sub.add_parser("compare", help="run all algorithms and compare")
@@ -288,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--tau", type=float, default=0.7)
     compare.add_argument("--skip-baseline", action="store_true",
                          help="skip the slow exhaustive baseline")
+    _add_capture_args(compare)
     compare.set_defaults(func=_cmd_compare)
 
     serve = sub.add_parser(
@@ -321,7 +432,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --execution sharded; "
                             "N < 2 falls back to the in-process path "
                             "(default: 2)")
+    _add_capture_args(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    compete = sub.add_parser(
+        "compete",
+        help="two-player best-response round: leader, rival, erosion")
+    _add_dataset_args(compete)
+    _add_kernel_args(compete)
+    compete.add_argument("--k", type=int, default=5,
+                         help="leader cardinality (default: 5)")
+    compete.add_argument("--k-rival", type=int, default=None, metavar="K",
+                         help="rival cardinality (default: same as --k)")
+    compete.add_argument("--tau", type=float, default=0.7)
+    compete.add_argument("--solver", choices=sorted(_SOLVERS), default="iqt")
+    _add_capture_args(compete)
+    compete.set_defaults(func=_cmd_compete)
 
     stats = sub.add_parser("stats", help="dataset distribution statistics")
     _add_dataset_args(stats)

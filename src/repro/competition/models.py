@@ -35,7 +35,13 @@ class CompetitionModel(ABC):
         """Share of user ``uid`` captured by any one covering candidate."""
 
     def group_value(self, table: InfluenceTable, cids: Iterable[int]) -> float:
-        """Objective value ``cinf(G)`` of a candidate-id set under this model."""
+        """Objective value ``cinf(G)`` of a candidate-id set under this model.
+
+        Scalar, set-walking reference path — kept as the differential-test
+        oracle.  Hot reporting call sites use the bit-equal vectorized
+        :func:`~repro.solvers.coverage.group_objective` /
+        :meth:`~repro.solvers.CoverageMatrix.objective_of` instead.
+        """
         covered: Set[int] = set()
         for cid in cids:
             covered |= table.omega_c.get(cid, set())

@@ -36,6 +36,16 @@ class DataError(ReproError):
     """Raised when a dataset file or generator specification is invalid."""
 
 
+class CaptureError(SolverError):
+    """Raised when a capture model is misconfigured or misused.
+
+    Covers unknown model names in a :class:`~repro.capture.CaptureSpec`,
+    invalid parameters (``worlds`` outside the bitmask width, non-finite
+    ``beta``), and asking a set-independent-only execution path to run a
+    set-aware model.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for serving-engine misuse (no snapshot, unknown solver, …)."""
 

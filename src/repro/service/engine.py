@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..capture import CaptureSpec
 from ..entities import SpatialDataset
 from ..exceptions import ServiceError, ShardError, SolverError
 from ..influence import ProbabilityFunction, paper_default_pf
@@ -94,6 +95,14 @@ class SelectionQuery:
             submission; ``None`` disables it.
         use_cache: Look up / populate the engine caches (disable for
             benchmarking cold paths).
+        capture: Customer-choice capture model spec
+            (:class:`~repro.capture.CaptureSpec`); ``None`` means the
+            paper's evenly-split model.  The spec's cache key joins the
+            engine cache keys, so queries share cached work exactly when
+            their capture semantics are identical; sharded execution
+            supports only the evenly-split key and falls back to the
+            threaded path (counted in :meth:`SelectionEngine.stats`)
+            for anything else.
     """
 
     k: int
@@ -105,6 +114,12 @@ class SelectionQuery:
     fast_select: bool = True
     deadline_s: Optional[float] = None
     use_cache: bool = True
+    capture: Optional[CaptureSpec] = None
+
+    @property
+    def capture_spec(self) -> CaptureSpec:
+        """The effective capture spec (evenly-split when unset)."""
+        return self.capture if self.capture is not None else CaptureSpec()
 
     def __post_init__(self) -> None:
         if self.candidate_ids is not None:
@@ -231,6 +246,7 @@ class SelectionEngine:
         self._shard_queries = 0
         self._shard_fallbacks = 0
         self._shard_failures = 0
+        self._capture_fallbacks = 0
         if snapshot is not None:
             self.publish(snapshot)
 
@@ -340,7 +356,14 @@ class SelectionEngine:
     ) -> Tuple[PreparedInstance, str]:
         def build() -> PreparedInstance:
             solver: Solver = SOLVER_FACTORIES[query.solver](query.batch_verify)
-            return PreparedInstance(snapshot, solver, query.tau, pf)
+            spec = query.capture_spec
+            # The default spec passes capture=None: the prepared instance
+            # then takes the untouched legacy path, keeping evenly-split
+            # serving bit-identical to pre-capture builds.
+            capture = (
+                None if spec.is_default else spec.build(snapshot.dataset, pf)
+            )
+            return PreparedInstance(snapshot, solver, query.tau, pf, capture)
 
         if not query.use_cache:
             return build(), "bypass"
@@ -468,6 +491,7 @@ class SelectionEngine:
             query.solver,
             pf_key,
             float(query.tau),
+            query.capture_spec.cache_key(),
         )
         rkey = base_key + ("result", int(query.k), query.candidate_ids)
         if query.use_cache:
@@ -484,7 +508,15 @@ class SelectionEngine:
         token.check()
 
         if self.execution == "sharded":
-            result = self._execute_sharded(query, snapshot, pf, token, t0)
+            if not query.capture_spec.is_default:
+                # The worker fleet's distinct-weight exact merge encodes
+                # the evenly-split weight family; other capture models
+                # degrade cleanly to the threaded path below (reported
+                # through sharded.capture_fallbacks / capture_supported).
+                self._capture_fallbacks += 1
+                result = None
+            else:
+                result = self._execute_sharded(query, snapshot, pf, token, t0)
             if result is not None:
                 if (
                     query.use_cache
@@ -579,6 +611,8 @@ class SelectionEngine:
                 "queries": self._shard_queries,
                 "fallbacks": self._shard_fallbacks,
                 "failures": self._shard_failures,
+                "capture_fallbacks": self._capture_fallbacks,
+                "capture_supported": ["evenly-split"],
             },
         }
         if self._snapshot is not None:

@@ -25,6 +25,8 @@ from __future__ import annotations
 import threading
 from typing import Optional, Sequence, Tuple
 
+from ..capture import DEFAULT_CAPTURE_KEY, CaptureModel
+from ..capture.select import capture_select
 from ..exceptions import ServiceError, SolverError
 from ..influence import ProbabilityFunction, paper_default_pf
 from ..solvers import ResolvedInstance, Solver, patch_resolution
@@ -47,6 +49,14 @@ class PreparedInstance:
         tau: Influence threshold.
         pf: Distance-decay probability function (paper default if
             ``None``).
+        capture: Customer-choice capture model (:mod:`repro.capture`);
+            ``None`` means the paper's evenly-split model.  Resolution
+            is capture-agnostic, so the amortised table is shared in
+            shape with every other model — but the engine keys prepared
+            instances by the capture cache key, because the *selection*
+            phase consults it: set-independent models feed their weight
+            model into the CSR densification, set-aware models route
+            every select through the CELF capture loop.
     """
 
     def __init__(
@@ -55,10 +65,12 @@ class PreparedInstance:
         solver: Solver,
         tau: float,
         pf: Optional[ProbabilityFunction] = None,
+        capture: Optional[CaptureModel] = None,
     ) -> None:
         self.snapshot = snapshot
         self.solver_name = solver.name
         self.tau = tau
+        self.capture = capture
         self.pf = pf or paper_default_pf()
         self.resolved: ResolvedInstance = solver.resolve(
             snapshot.dataset, tau, self.pf
@@ -114,6 +126,20 @@ class PreparedInstance:
                 chains from a different (e.g. superseded-and-replaced)
                 snapshot, or the candidate sites changed.
         """
+        if (
+            old.capture is not None
+            and old.capture.cache_key() != DEFAULT_CAPTURE_KEY
+        ):
+            # Non-default capture models hold utilities bound to the old
+            # population; splicing the table alone would serve stale
+            # masses.  Raising here routes the engine's migration sweep
+            # to its patch_failed accounting and the plain-invalidation
+            # fallback (the first query re-resolves fresh).
+            raise ServiceError(
+                f"prepared instance under capture model "
+                f"{old.capture.name!r} cannot be delta-patched; "
+                "republish falls back to full invalidation"
+            )
         delta = snapshot.delta
         if delta is None:
             raise ServiceError(
@@ -134,6 +160,7 @@ class PreparedInstance:
         inst.snapshot = snapshot
         inst.solver_name = old.solver_name
         inst.tau = old.tau
+        inst.capture = old.capture
         inst.pf = old.pf
         inst.resolved, added_cover = patch_resolution(
             old.resolved,
@@ -170,7 +197,15 @@ class PreparedInstance:
         if self._matrix is None:
             with self._lock:
                 if self._matrix is None:
-                    self._matrix = CoverageMatrix(self.table, self.candidate_ids)
+                    model = (
+                        self.capture.weight_model
+                        if self.capture is not None
+                        and self.capture.set_independent
+                        else None
+                    )
+                    self._matrix = CoverageMatrix(
+                        self.table, self.candidate_ids, model=model
+                    )
         return self._matrix
 
     def _restricted_matrix(self, subset: Tuple[int, ...]) -> CoverageMatrix:
@@ -179,6 +214,12 @@ class PreparedInstance:
             key, lambda: self.matrix().restrict(subset)
         )
         return sub
+
+    def _weight_model(self):
+        """Per-user weight model of a set-independent capture (or None)."""
+        if self.capture is not None and self.capture.set_independent:
+            return self.capture.weight_model
+        return None
 
     def restricted_cache_stats(self):
         """Counters of the per-instance restricted-matrix LRU."""
@@ -197,14 +238,50 @@ class PreparedInstance:
         Identical output to running the owning solver's ``solve`` on the
         (possibly candidate-restricted) instance: same selection order,
         same bit-exact gains.
+
+        Under a set-aware capture model every select runs the CELF
+        capture loop over the amortised table (``fast_select`` picks the
+        vectorized oracle state versus the scalar reference oracle);
+        set-independent models keep the CSR/scalar kernels below.
         """
+        cap = self.capture
+        if cap is not None and not cap.set_independent:
+            if candidate_ids is None:
+                return capture_select(
+                    self.table,
+                    self.candidate_ids,
+                    k,
+                    cap,
+                    fast=fast_select,
+                    cancel_check=cancel_check,
+                )
+            subset = tuple(sorted(set(int(c) for c in candidate_ids)))
+            unknown = set(subset) - set(self.candidate_ids)
+            if unknown:
+                raise SolverError(
+                    f"candidate mask references unknown sites {unknown}"
+                )
+            if not subset:
+                raise SolverError("candidate mask is empty")
+            return capture_select(
+                self.table.restricted(set(subset)),
+                subset,
+                k,
+                cap,
+                fast=fast_select,
+                cancel_check=cancel_check,
+            )
         if candidate_ids is None:
             if fast_select:
                 return self.matrix().select(
                     k, cancel_check=cancel_check, warm_start=self._warm
                 )
             return greedy_select(
-                self.table, self.candidate_ids, k, cancel_check=cancel_check
+                self.table,
+                self.candidate_ids,
+                k,
+                model=self._weight_model(),
+                cancel_check=cancel_check,
             )
         subset = tuple(sorted(set(int(c) for c in candidate_ids)))
         unknown = set(subset) - set(self.candidate_ids)
@@ -217,5 +294,9 @@ class PreparedInstance:
                 k, cancel_check=cancel_check
             )
         return greedy_select(
-            self.table.restricted(set(subset)), subset, k, cancel_check=cancel_check
+            self.table.restricted(set(subset)),
+            subset,
+            k,
+            model=self._weight_model(),
+            cancel_check=cancel_check,
         )

@@ -7,11 +7,17 @@ from .base import (
     Solver,
     SolverResult,
     patch_resolution,
+    require_default_capture,
 )
 from .baseline import BaselineGreedySolver
 from .budgeted import BudgetedGreedySolver
 from .capacitated import CapacitatedGreedySolver, CapacitatedOutcome
-from .coverage import CoverageMatrix, coverage_select, merged_exact_gain
+from .coverage import (
+    CoverageMatrix,
+    coverage_select,
+    group_objective,
+    merged_exact_gain,
+)
 from .exact import ExactSolver
 from .iqt import IQTSolver, IQTVariant
 from .kcifp import AdaptedKCIFPSolver
@@ -40,8 +46,10 @@ __all__ = [
     "SolverResult",
     "coverage_select",
     "greedy_select",
+    "group_objective",
     "lazy_greedy_select",
     "merged_exact_gain",
     "patch_resolution",
+    "require_default_capture",
     "run_selection",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from ..influence import (
 )
 from ..pruning import PruningStats
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..capture import CaptureModel
+
 
 @dataclass(frozen=True)
 class MC2LSProblem:
@@ -40,12 +43,19 @@ class MC2LSProblem:
         k: Number of locations to select.
         tau: Influence probability threshold.
         pf: Distance-decay probability function (paper default when ``None``).
+        capture: Customer-choice capture model (:mod:`repro.capture`);
+            ``None`` means the paper's evenly-split model.  Resolution is
+            capture-agnostic — only the greedy phase consults it — so
+            the iQT/baseline/k-CIFP solvers accept any registered model;
+            structure-exploiting solvers (exact, budgeted, capacitated)
+            reject set-aware models explicitly.
     """
 
     dataset: SpatialDataset
     k: int
     tau: float = 0.7
     pf: ProbabilityFunction = field(default_factory=paper_default_pf)
+    capture: Optional["CaptureModel"] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -216,6 +226,27 @@ def patch_resolution(
         timings=timer.finish(),
     )
     return resolved, added_cover
+
+
+def require_default_capture(problem: MC2LSProblem, solver_name: str) -> None:
+    """Reject non-evenly-split capture on structure-exploiting solvers.
+
+    The exact, budgeted and capacitated solvers exploit the evenly-split
+    objective's structure (precomputed per-user weights, cost ratios,
+    load-aware swaps); silently running them under another capture model
+    would optimise the wrong objective, so they refuse loudly instead.
+    """
+    capture = problem.capture
+    if capture is None:
+        return
+    from ..capture import DEFAULT_CAPTURE_KEY
+
+    if capture.cache_key() != DEFAULT_CAPTURE_KEY:
+        raise SolverError(
+            f"solver {solver_name!r} supports only the evenly-split "
+            f"capture model, got {capture.name!r}; use the iqt/baseline/"
+            "k-cifp solvers for other capture models"
+        )
 
 
 class Solver(ABC):

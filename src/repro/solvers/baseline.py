@@ -53,6 +53,7 @@ class BaselineGreedySolver(Solver):
                 [c.fid for c in problem.dataset.candidates],
                 problem.k,
                 fast_select=self.fast_select,
+                capture=problem.capture,
             )
         return SolverResult(
             selected=outcome.selected,

@@ -18,7 +18,13 @@ import numpy as np
 
 from ..competition import EvenlySplitModel, InfluenceTable
 from ..exceptions import SolverError
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .base import (
+    MC2LSProblem,
+    PhaseTimer,
+    Solver,
+    SolverResult,
+    require_default_capture,
+)
 from .coverage import CoverageMatrix
 from .iqt import IQTSolver
 
@@ -60,6 +66,7 @@ class BudgetedGreedySolver(Solver):
 
     # ------------------------------------------------------------------
     def solve(self, problem: MC2LSProblem) -> SolverResult:
+        require_default_capture(problem, self.name)
         timer = PhaseTimer()
         with timer.mark("resolve"):
             base = self.base_solver.solve(problem)
@@ -75,15 +82,27 @@ class BudgetedGreedySolver(Solver):
                 cover = CoverageMatrix(table, candidate_ids, model=model)
                 ratio_sel, ratio_gains = self._ratio_greedy_fast(cover)
                 single = self._best_single_fast(cover)
+                # Objective reporting through the matrix's vectorized
+                # union — fsum over the identical covered-weight multiset,
+                # bit-equal to the scalar group_value it replaces.
+                ratio_value = cover.objective_of(ratio_sel)
+                single_value = (
+                    cover.objective_of([single]) if single is not None else None
+                )
             else:
                 ratio_sel, ratio_gains = self._ratio_greedy(
                     table, model, candidate_ids
                 )
                 single = self._best_single(table, model, candidate_ids)
-            ratio_value = model.group_value(table, ratio_sel)
-            if single is not None and model.group_value(table, [single]) > ratio_value:
+                ratio_value = model.group_value(table, ratio_sel)
+                single_value = (
+                    model.group_value(table, [single])
+                    if single is not None
+                    else None
+                )
+            if single_value is not None and single_value > ratio_value:
                 selected: List[int] = [single]
-                gains = (model.group_value(table, [single]),)
+                gains = (single_value,)
                 objective = gains[0]
             else:
                 selected = ratio_sel

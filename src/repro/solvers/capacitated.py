@@ -27,7 +27,13 @@ import numpy as np
 
 from ..competition import InfluenceTable
 from ..exceptions import SolverError
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult
+from .base import (
+    MC2LSProblem,
+    PhaseTimer,
+    Solver,
+    SolverResult,
+    require_default_capture,
+)
 from .coverage import CoverageMatrix
 from .iqt import IQTSolver
 
@@ -145,6 +151,7 @@ class CapacitatedGreedySolver(Solver):
         self.fast_select = fast_select
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
+        require_default_capture(problem, self.name)
         timer = PhaseTimer()
         with timer.mark("resolve"):
             base = self.base_solver.solve(problem)

@@ -434,6 +434,29 @@ class CoverageMatrix:
             np.int64, copy=False
         )
 
+    def objective_of(self, group: Sequence[int]) -> float:
+        """Bit-exact objective ``cinf(G)`` of an explicit candidate group.
+
+        One vectorized union over the group's CSR segments plus a single
+        ``fsum`` over the covered weights — the weight multiset equals
+        the scalar :meth:`~repro.competition.CompetitionModel.group_value`
+        multiset, so the correctly-rounded sum is bit-equal to it.  This
+        is the path objective *reporting* (analysis curves, budgeted
+        ratios) uses instead of rebuilding Python sets per call.
+        """
+        index = {cid: j for j, cid in enumerate(self.candidate_ids)}
+        covered = self.new_covered_mask()
+        for cid in set(int(c) for c in group):
+            j = index.get(cid)
+            if j is None:
+                raise SolverError(
+                    f"candidate {cid} is not in this coverage matrix"
+                )
+            self.cover(j, covered)
+        if not covered.any():
+            return 0.0
+        return math.fsum(self.weights[covered].tolist())
+
     # ------------------------------------------------------------------
     def select(
         self,
@@ -538,3 +561,25 @@ def coverage_select(
     """One-shot CSR-kernel greedy selection (builds the matrix inline)."""
     matrix = CoverageMatrix(table, candidate_ids, model=model)
     return matrix.select(k, cancel_check=cancel_check)
+
+
+def group_objective(
+    table: InfluenceTable,
+    group: Sequence[int],
+    model: CompetitionModel | None = None,
+) -> float:
+    """Vectorized one-shot ``cinf(G)`` for an arbitrary candidate group.
+
+    Densifies the table restricted to ``G`` (its covered universe *is*
+    the union coverage) and ``fsum``s the weight vector — bit-equal to
+    the scalar ``model.group_value`` / :func:`~repro.competition.cinf_group`
+    oracle, which stays around precisely to differential-test this path.
+    Reporting call sites (:mod:`repro.analysis`, the budgeted solver's
+    ratio loop) use this instead of rebuilding per-user Python sets on
+    every evaluation.
+    """
+    cids = set(int(c) for c in group)
+    if not cids:
+        return 0.0
+    matrix = CoverageMatrix(table.restricted(cids), sorted(cids), model=model)
+    return math.fsum(matrix.weights.tolist())

@@ -18,7 +18,14 @@ import numpy as np
 from ..competition import InfluenceTable, cinf_group
 from ..exceptions import SolverError
 from ..influence import InfluenceEvaluator
-from .base import MC2LSProblem, PhaseTimer, Solver, SolverResult, resolve_all_pairs
+from .base import (
+    MC2LSProblem,
+    PhaseTimer,
+    Solver,
+    SolverResult,
+    require_default_capture,
+    resolve_all_pairs,
+)
 
 
 class ExactSolver(Solver):
@@ -51,6 +58,7 @@ class ExactSolver(Solver):
         self.fast_select = fast_select
 
     def solve(self, problem: MC2LSProblem) -> SolverResult:
+        require_default_capture(problem, self.name)
         dataset = problem.dataset
         n = len(dataset.candidates)
         n_combos = comb(n, problem.k)

@@ -97,6 +97,7 @@ class IQTSolver(Solver):
                 [c.fid for c in problem.dataset.candidates],
                 problem.k,
                 fast_select=self.fast_select,
+                capture=problem.capture,
             )
         return SolverResult(
             selected=outcome.selected,

@@ -26,10 +26,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..competition import CompetitionModel, EvenlySplitModel, InfluenceTable
 from ..exceptions import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..capture import CaptureModel
 
 #: Cooperative cancellation hook: called at the top of every greedy round;
 #: raises (e.g. :class:`~repro.exceptions.DeadlineExceededError`) to abort.
@@ -134,6 +145,7 @@ def run_selection(
     model: CompetitionModel | None = None,
     fast_select: bool = True,
     cancel_check: CancelCheck = None,
+    capture: "CaptureModel | None" = None,
 ) -> GreedyOutcome:
     """Run the greedy phase through the CSR kernel or the scalar loop.
 
@@ -144,7 +156,37 @@ def run_selection(
     return the identical ``selected`` tuple and gains.  ``cancel_check``
     (when given) runs at the top of every greedy round on either path;
     the serving engine passes its deadline/cancellation probe here.
+
+    ``capture`` selects the customer-choice capture model
+    (:mod:`repro.capture`).  Set-independent models (evenly-split, Huff)
+    reduce to a per-user weight model and keep both legacy kernels
+    unchanged — passing ``capture=evenly_split_capture()`` is
+    bit-identical to passing nothing.  Set-aware models (MNL,
+    fixed-worlds) dispatch to the CELF loop of
+    :func:`repro.capture.capture_select` instead; ``fast_select`` then
+    chooses between the vectorized oracle state and the scalar
+    reference oracle.  ``capture`` and ``model`` are mutually
+    exclusive ways of naming the weights.
     """
+    if capture is not None:
+        if model is not None:
+            raise SolverError(
+                "pass either model= or capture=, not both; a capture "
+                "model names its own per-user weights"
+            )
+        if capture.set_independent:
+            model = capture.weight_model
+        else:
+            from ..capture.select import capture_select
+
+            return capture_select(
+                table,
+                candidate_ids,
+                k,
+                capture,
+                fast=fast_select,
+                cancel_check=cancel_check,
+            )
     if fast_select:
         from .coverage import coverage_select
 

@@ -1,0 +1,66 @@
+"""Smoke test: the capture-models benchmark must run and record.
+
+Invokes ``benchmarks/bench_capture_models.py --smoke`` the way CI does
+(as a subprocess) and asserts the degenerate-case identity check is
+green and every registered model produced a timed record.  No timing
+floors here — the smoke scale is tiny; the committed full-scale point
+carries the trajectory numbers.  The smoke run writes to a temporary
+path so the committed ``BENCH_capture_models.json`` is not overwritten.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_smoke_records_trajectory_point(tmp_path):
+    out_path = tmp_path / "BENCH_capture_models.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_capture_models.py"),
+            "--smoke",
+            "--out",
+            str(out_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out_path.exists()
+    payload = json.loads(out_path.read_text())
+    assert payload["benchmark"] == "capture_models"
+    assert payload["evenly_split_bit_identical"] is True
+    models = payload["models"]
+    assert set(models) == {"evenly-split", "huff", "mnl", "fixed-worlds"}
+    for name in ("evenly-split", "huff"):
+        assert models[name]["path"] == "csr-kernel"
+    for name in ("mnl", "fixed-worlds"):
+        assert models[name]["path"] == "celf"
+        # CELF must never evaluate more than a full rescan would.
+        assert models[name]["evaluations"] <= models[name]["rescan_evaluations"]
+    for record in models.values():
+        assert record["select"]["repeats"] >= 2
+        assert len(record["selected"]) == payload["k"]
+        assert record["objective"] >= 0.0
+
+
+def test_committed_trajectory_point_is_full_scale():
+    """The recorded repo-root point meets the acceptance floor."""
+    payload = json.loads((REPO_ROOT / "BENCH_capture_models.json").read_text())
+    assert payload["n_users"] >= 60_000
+    assert payload["evenly_split_bit_identical"] is True
+    assert set(payload["models"]) == {
+        "evenly-split", "huff", "mnl", "fixed-worlds"
+    }
+    for record in payload["models"].values():
+        assert record["select"]["repeats"] >= 2

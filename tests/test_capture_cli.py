@@ -1,0 +1,91 @@
+"""CLI coverage for the capture-model flags and the compete subcommand."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+BASE = ["--users", "120", "--candidates", "15", "--facilities", "20"]
+
+
+class TestCaptureFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.capture_model == "evenly-split"
+        assert args.mnl_beta == 1.0
+        assert args.worlds == 32
+        assert args.world_seed == 0
+
+    @pytest.mark.parametrize("model", ["huff", "mnl", "fixed-worlds"])
+    def test_solve_with_each_model(self, model, capsys):
+        code = main(
+            ["solve", *BASE, "--k", "3", "--capture-model", model]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"capture: {model}" in out
+        assert "cinf(G)" in out
+
+    def test_unknown_model_lists_registry(self, capsys):
+        code = main(["solve", *BASE, "--k", "2", "--capture-model", "nope"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown capture model" in err
+        for name in ("evenly-split", "huff", "mnl", "fixed-worlds"):
+            assert name in err
+
+    def test_compare_with_mnl_solvers_agree(self, capsys):
+        code = main(
+            [
+                "compare", *BASE, "--k", "3", "--skip-baseline",
+                "--capture-model", "mnl", "--mnl-beta", "2.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capture: mnl" in out
+        assert "NO" not in out.replace("NOT", "")
+
+    def test_serve_with_capture(self, capsys):
+        code = main(
+            [
+                "serve", *BASE, "--k-max", "2", "--taus", "0.7",
+                "--repeat", "2", "--capture-model", "mnl",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result_cache" in out
+
+
+class TestCompete:
+    def test_compete_prints_erosion_report(self, capsys):
+        code = main(
+            [
+                "compete", *BASE, "--k", "3",
+                "--capture-model", "fixed-worlds", "--worlds", "16",
+                "--world-seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capture erosion" in out
+        assert "rival best response" in out
+        assert "leader (re-solved)" in out
+
+    def test_compete_deterministic_per_world_seed(self, capsys):
+        argv = [
+            "compete", *BASE, "--k", "3",
+            "--capture-model", "fixed-worlds", "--worlds", "16",
+            "--world-seed", "5",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_compete_k_rival(self, capsys):
+        code = main(["compete", *BASE, "--k", "3", "--k-rival", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "k_rival = 1" in out
