@@ -11,6 +11,14 @@ Commands:
   and print per-query cache provenance plus engine stats.
 * ``stats``    — print the distribution statistics of a dataset.
 * ``generate`` — write a synthetic SNAP-format check-in file.
+* ``record``   — record a canned workload trace (JSONL) against a live
+  engine for later replay/tuning.
+* ``replay``   — replay a recorded trace under any engine config and
+  print the latency/cache report (optionally verifying that replayed
+  selections match the recording).
+* ``tune``     — search the serving knob space against a recorded trace
+  (cost-model screening + measured replay) and emit the recommended
+  config as JSON.
 
 Datasets are either the calibrated synthetic populations (``--dataset c``
 / ``--dataset n``) or a real SNAP check-in dump (``--checkins FILE``).
@@ -221,17 +229,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _churn_session(session, n_moves: int, seed: int) -> None:
-    """Jitter ``n_moves`` users' position histories in a streaming session."""
-    import numpy as np
+    """Jitter ``n_moves`` users' position histories in a streaming session.
 
-    from .entities import MovingUser
+    Delegates to :func:`repro.tuning.jitter_users` so ``serve --churn``
+    and recorded-trace publishes share one deterministic churn function.
+    """
+    from .tuning import jitter_users
 
-    rng = np.random.default_rng(seed)
-    uids = sorted(session._users)
-    for uid in rng.choice(uids, size=min(n_moves, len(uids)), replace=False):
-        user = session._users[int(uid)]
-        moved = user.positions + rng.normal(0.0, 0.5, user.positions.shape)
-        session.update_user(MovingUser(int(uid), moved))
+    jitter_users(session, n_moves, seed)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -358,6 +363,89 @@ def _cmd_compete(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .tuning import record_canned
+
+    trace = record_canned(
+        args.workload,
+        args.out,
+        n_users=args.users,
+        n_candidates=args.candidates,
+        n_facilities=args.facilities,
+        seed=args.seed,
+        solver=args.solver,
+    )
+    n_queries = sum(1 for _ in trace.query_events())
+    print(f"recorded {args.workload!r}: {len(trace)} events "
+          f"({n_queries} queries) -> {args.out}")
+    return 0
+
+
+def _load_engine_config(path: Optional[str]):
+    import json
+
+    from .exceptions import TuningError
+    from .tuning import EngineConfig
+
+    if not path:
+        return EngineConfig()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            spec = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise TuningError(f"cannot read engine config {path}: {exc}") from exc
+    # Accept both a bare config and the tuner's recommendation output.
+    if "recommended" in spec:
+        spec = spec["recommended"]
+    return EngineConfig.from_dict(spec)
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .tuning import TraceReplayer, WorkloadTrace
+
+    trace = WorkloadTrace.load(args.trace)
+    config = _load_engine_config(args.config)
+    report = TraceReplayer(trace).replay(config, pacing=args.pacing)
+    summary = report.as_dict()
+    rows = [{k: summary[k] for k in
+             ("queries", "ok", "p50_s", "p95_s", "mean_s",
+              "result_hits", "prepared_hits", "wall_s")}]
+    print(f"trace {trace.name!r} replayed with pacing={args.pacing} "
+          f"(exact={config.exact})")
+    print(format_table(rows))
+    if args.check:
+        mismatches = report.selection_mismatches(trace)
+        if mismatches:
+            print(f"\nERROR: {mismatches} replayed selections differ from "
+                  f"the recording", file=sys.stderr)
+            return 1
+        print("\nall replayed selections match the recording")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from .tuning import CostModel, KnobTuner, WorkloadTrace
+
+    trace = WorkloadTrace.load(args.trace)
+    cost_model = CostModel.calibrate(repeats=args.calibrate_repeats)
+    tuner = KnobTuner(trace, cost_model=cost_model)
+    recommendation = tuner.tune(validate_top=args.validate_top)
+    payload = recommendation.as_dict()
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote recommendation to {args.out}")
+    print(text)
+    print(f"\nmeasured P50 speedup over defaults: "
+          f"{recommendation.speedup_p50:.2f}x "
+          f"({payload['candidates_scored']} configs screened)",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     print(format_table([compute_stats(dataset).as_row()]))
@@ -448,6 +536,52 @@ def build_parser() -> argparse.ArgumentParser:
     compete.add_argument("--solver", choices=sorted(_SOLVERS), default="iqt")
     _add_capture_args(compete)
     compete.set_defaults(func=_cmd_compete)
+
+    record = sub.add_parser(
+        "record", help="record a canned workload trace for replay/tuning")
+    record.add_argument("workload", choices=("bursty", "churn", "cold-start"),
+                        help="canned workload: bursty what-if sweep, "
+                             "streaming churn, or cold-start storm")
+    record.add_argument("--out", required=True, metavar="FILE",
+                        help="output trace path (JSONL)")
+    record.add_argument("--users", type=int, default=160,
+                        help="synthetic user count (default: 160)")
+    record.add_argument("--candidates", type=int, default=20)
+    record.add_argument("--facilities", type=int, default=40)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--solver", choices=sorted(_SOLVERS), default="iqt")
+    record.set_defaults(func=_cmd_record)
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded trace under an engine config")
+    replay.add_argument("--trace", required=True, metavar="FILE",
+                        help="recorded trace (JSONL, from `record`)")
+    replay.add_argument("--config", metavar="FILE",
+                        help="engine config JSON (accepts `tune` output; "
+                             "default: all engine defaults)")
+    replay.add_argument("--pacing", choices=("asap", "open-loop"),
+                        default="asap",
+                        help="asap = sequential deterministic replay; "
+                             "open-loop = submit at recorded arrival offsets "
+                             "(default: asap)")
+    replay.add_argument("--check", action="store_true",
+                        help="fail unless every replayed selection matches "
+                             "the recording")
+    replay.set_defaults(func=_cmd_replay)
+
+    tune = sub.add_parser(
+        "tune", help="recommend engine knobs for a recorded trace")
+    tune.add_argument("--trace", required=True, metavar="FILE",
+                      help="recorded trace to optimise for")
+    tune.add_argument("--out", metavar="FILE",
+                      help="also write the recommendation JSON here")
+    tune.add_argument("--validate-top", type=int, default=2, metavar="N",
+                      help="replay the N best predicted configs plus the "
+                           "baseline to confirm (default: 2)")
+    tune.add_argument("--calibrate-repeats", type=int, default=2, metavar="N",
+                      help="timing repeats per cost-model calibration point "
+                           "(default: 2)")
+    tune.set_defaults(func=_cmd_tune)
 
     stats = sub.add_parser("stats", help="dataset distribution statistics")
     _add_dataset_args(stats)

@@ -15,7 +15,7 @@ from .io import (
     save_result_json,
     write_checkin_file,
 )
-from .stats import DatasetStats, compute_stats, mbr_overlap_fraction
+from .stats import DatasetStats, compute_stats, cost_features, mbr_overlap_fraction
 from .synthetic import (
     SyntheticPopulation,
     SyntheticSpec,
@@ -37,6 +37,7 @@ __all__ = [
     "california_like",
     "california_spec",
     "compute_stats",
+    "cost_features",
     "generate_population",
     "load_checkins",
     "load_dataset_npz",

@@ -74,7 +74,25 @@ def compute_stats(dataset: SpatialDataset, grid_cells: int = 32) -> DatasetStats
 
     ``grid_cells`` controls the occupancy grid used for the Gini skewness
     measure (``grid_cells x grid_cells`` over the region).
+
+    Degenerate populations (no users, hence no positions) produce defined
+    zeros for every ratio rather than NaNs or a ``vstack`` crash — the
+    cost model consumes these numbers as features and must be able to
+    score an empty snapshot.
     """
+    # The empty guard runs before any region access: a population with no
+    # users may not have a well-defined region at all.
+    if not dataset.users:
+        return DatasetStats(
+            name=dataset.name,
+            n_users=0,
+            n_positions=0,
+            mean_positions_per_user=0.0,
+            max_positions_per_user=0,
+            positions_per_km2=0.0,
+            mean_mbr_area_ratio=0.0,
+            gini_cell_occupancy=0.0,
+        )
     region = dataset.region
     region_area = max(region.area, 1e-12)
     counts_r = np.array([u.r for u in dataset.users])
@@ -105,6 +123,39 @@ def compute_stats(dataset: SpatialDataset, grid_cells: int = 32) -> DatasetStats
         mean_mbr_area_ratio=float(mbr_ratios.mean()),
         gini_cell_occupancy=_gini(occupancy),
     )
+
+
+def cost_features(dataset: SpatialDataset) -> dict:
+    """The workload-independent features the tuning cost model consumes.
+
+    Returns a flat dict of defined-everywhere numbers (zeros for empty
+    datasets and zero-candidate snapshots — never a division by zero):
+
+    * ``n_users`` / ``n_positions`` / ``n_candidates`` / ``n_facilities``
+      — raw population sizes.
+    * ``r_mean`` — mean positions per user (0 when there are no users).
+    * ``verify_pairs`` — ``n_positions × n_candidates``, the worst-case
+      position-candidate verification work of one resolve.
+    * ``candidate_fan_in`` — ``verify_pairs / n_users``: mean per-user
+      candidate verification fan-in (0 when there are no users).
+    * ``select_cells`` — ``n_users × n_candidates``, the dense size of
+      one coverage matrix (bounds one greedy round's work).
+    """
+    n_users = len(dataset.users)
+    n_candidates = len(dataset.candidates)
+    n_facilities = len(dataset.facilities)
+    n_positions = sum(u.r for u in dataset.users)
+    verify_pairs = float(n_positions * n_candidates)
+    return {
+        "n_users": n_users,
+        "n_positions": n_positions,
+        "n_candidates": n_candidates,
+        "n_facilities": n_facilities,
+        "r_mean": n_positions / n_users if n_users else 0.0,
+        "verify_pairs": verify_pairs,
+        "candidate_fan_in": verify_pairs / n_users if n_users else 0.0,
+        "select_cells": float(n_users * n_candidates),
+    }
 
 
 def mbr_overlap_fraction(dataset: SpatialDataset, sample: int = 200, seed: int = 0) -> float:

@@ -62,6 +62,15 @@ class EngineSaturatedError(ServiceError):
     """Raised at admission when the scheduler's queue is already full."""
 
 
+class TuningError(ServiceError):
+    """Raised by the workload record/replay and autotuning layer.
+
+    Covers malformed or version-incompatible trace files, replaying a
+    trace whose dataset spec cannot be rebuilt, and calibrating or
+    searching with an empty/degenerate configuration space.
+    """
+
+
 class ShardError(ServiceError):
     """Raised when the sharded execution layer fails mid-flight.
 

@@ -19,6 +19,8 @@ from .probability import (
     ProbabilityFunction,
     SigmoidPF,
     paper_default_pf,
+    pf_from_dict,
+    pf_to_dict,
 )
 from .radius import (
     min_max_radius,
@@ -41,6 +43,8 @@ __all__ = [
     "min_max_radius",
     "non_influence_radius",
     "paper_default_pf",
+    "pf_from_dict",
+    "pf_to_dict",
     "position_count_threshold",
     "position_count_threshold_int",
     "survival_powers",

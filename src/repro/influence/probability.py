@@ -201,3 +201,42 @@ class PowerLawPF(ProbabilityFunction):
 def paper_default_pf() -> SigmoidPF:
     """Return the probability function used throughout the paper (ρ = 1)."""
     return SigmoidPF(rho=1.0)
+
+
+#: The named decay families and their constructor parameters, in the
+#: order :func:`pf_to_dict` serialises them.  Custom subclasses are not
+#: portable and are rejected rather than silently mis-serialised.
+_PF_FAMILIES = {
+    "sigmoid": (SigmoidPF, ("rho",)),
+    "exponential": (ExponentialPF, ("p0", "scale")),
+    "linear": (LinearPF, ("p0", "cutoff")),
+    "power-law": (PowerLawPF, ("p0", "scale", "alpha")),
+}
+
+
+def pf_to_dict(pf: ProbabilityFunction) -> dict:
+    """JSON-portable form of a provided-family ``PF``.
+
+    The inverse of :func:`pf_from_dict`; round-tripping preserves
+    :meth:`ProbabilityFunction.cache_key`, which is what makes recorded
+    query traces replayable against equal caches on another process.
+    """
+    for family, (cls, params) in _PF_FAMILIES.items():
+        if type(pf) is cls:
+            return {"family": family, **{p: getattr(pf, p) for p in params}}
+    raise ProbabilityError(
+        f"{type(pf).__name__} is not a serialisable PF family; "
+        f"known families: {', '.join(_PF_FAMILIES)}"
+    )
+
+
+def pf_from_dict(spec: dict) -> ProbabilityFunction:
+    """Rebuild a ``PF`` serialised by :func:`pf_to_dict`."""
+    family = spec.get("family")
+    if family not in _PF_FAMILIES:
+        raise ProbabilityError(
+            f"unknown PF family {family!r}; "
+            f"known families: {', '.join(_PF_FAMILIES)}"
+        )
+    cls, params = _PF_FAMILIES[family]
+    return cls(**{p: spec[p] for p in params if p in spec})

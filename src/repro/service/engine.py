@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,7 +38,12 @@ import numpy as np
 from ..capture import CaptureSpec
 from ..entities import SpatialDataset
 from ..exceptions import ServiceError, ShardError, SolverError
-from ..influence import ProbabilityFunction, paper_default_pf
+from ..influence import (
+    ProbabilityFunction,
+    paper_default_pf,
+    pf_from_dict,
+    pf_to_dict,
+)
 from ..solvers import (
     AdaptedKCIFPSolver,
     BaselineGreedySolver,
@@ -128,6 +133,55 @@ class SelectionQuery:
                 "candidate_ids",
                 tuple(sorted(set(int(c) for c in self.candidate_ids))),
             )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-portable form of this query (trace journaling).
+
+        Round-trips through :meth:`from_dict` to an equal query —
+        including the engine cache keys it produces — so a replayed
+        trace exercises exactly the cache behaviour it recorded.  A
+        custom :class:`~repro.influence.ProbabilityFunction` outside the
+        provided families is not portable and raises.
+        """
+        return {
+            "k": self.k,
+            "tau": self.tau,
+            "solver": self.solver,
+            "pf": None if self.pf is None else pf_to_dict(self.pf),
+            "candidate_ids": (
+                None if self.candidate_ids is None else list(self.candidate_ids)
+            ),
+            "batch_verify": self.batch_verify,
+            "fast_select": self.fast_select,
+            "deadline_s": self.deadline_s,
+            "use_cache": self.use_cache,
+            "capture": (
+                None if self.capture is None else asdict(self.capture)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "SelectionQuery":
+        """Rebuild a query serialised by :meth:`as_dict`."""
+        pf_spec = spec.get("pf")
+        capture_spec = spec.get("capture")
+        candidate_ids = spec.get("candidate_ids")
+        return cls(
+            k=int(spec["k"]),
+            tau=float(spec.get("tau", 0.7)),
+            solver=spec.get("solver", "iqt"),
+            pf=None if pf_spec is None else pf_from_dict(pf_spec),
+            candidate_ids=(
+                None if candidate_ids is None else tuple(candidate_ids)
+            ),
+            batch_verify=bool(spec.get("batch_verify", True)),
+            fast_select=bool(spec.get("fast_select", True)),
+            deadline_s=spec.get("deadline_s"),
+            use_cache=bool(spec.get("use_cache", True)),
+            capture=(
+                None if capture_spec is None else CaptureSpec(**capture_spec)
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -246,6 +300,8 @@ class SelectionEngine:
         self._shard_queries = 0
         self._shard_fallbacks = 0
         self._shard_failures = 0
+        self._shard_recoveries = 0
+        self._recovery_pending = False
         self._capture_fallbacks = 0
         if snapshot is not None:
             self.publish(snapshot)
@@ -392,8 +448,18 @@ class SelectionEngine:
         if self._shard_disabled:
             return None
         with self._shard_lock:
-            if self._coordinator is not None and self._coordinator.broken is None:
-                return self._coordinator
+            if self._coordinator is not None:
+                if self._coordinator.broken is None:
+                    return self._coordinator
+                # A broken fleet left behind by a failed query: tear it
+                # down before respawning so its workers/segments never
+                # outlive the coordinator that owns them.
+                try:
+                    self._coordinator.close()
+                except Exception:
+                    pass
+                self._coordinator = None
+                self._recovery_pending = True
             try:
                 probe = SharedArrayStore.create(
                     {"probe": np.zeros(1, dtype=np.float64)},
@@ -405,6 +471,12 @@ class SelectionEngine:
                 self._coordinator = ShardCoordinator(
                     self.shard_workers, start_method=self._shard_start_method
                 )
+                if self._recovery_pending:
+                    # Fresh fleet replacing a broken one — a recovery,
+                    # not a fallback: the query stays on the sharded
+                    # path, so neither fallback counter fires for it.
+                    self._shard_recoveries += 1
+                    self._recovery_pending = False
                 return self._coordinator
             except Exception:
                 self._shard_disabled = True
@@ -449,7 +521,11 @@ class SelectionEngine:
         except ShardError:
             with self._shard_lock:
                 if self._coordinator is not None and self._coordinator.broken:
+                    # The coordinator already tore itself down (ShardError
+                    # always follows teardown); mark the break so the next
+                    # successful respawn counts as one recovery.
                     self._coordinator = None
+                    self._recovery_pending = True
             self._shard_failures += 1
             raise
         self._shard_queries += 1
@@ -479,9 +555,18 @@ class SelectionEngine:
     def execute(
         self, query: SelectionQuery, cancel: Optional[CancelToken] = None
     ) -> QueryResult:
-        """Serve one query synchronously on the calling thread."""
-        t0 = time.perf_counter()
+        """Serve one query synchronously on the calling thread.
+
+        The query's clock is its token: for scheduled queries the token
+        was created at submission, so ``total_seconds`` includes queue
+        wait — the same span the deadline is measured over.  A token
+        that is already cancelled or expired aborts *before* the cache
+        lookup: an expired query is never served, not even for free, so
+        record/replay sees the same outcome regardless of cache warmth.
+        """
         token = cancel or CancelToken.with_timeout(query.deadline_s)
+        t0 = token.started_at
+        token.check()
         snapshot = self.snapshot()
         self._validate(query, snapshot)
         pf = query.pf or paper_default_pf()
@@ -497,22 +582,38 @@ class SelectionEngine:
         if query.use_cache:
             cached = self._results.get(rkey)
             if cached is not None:
-                stats = replace(
-                    cached.stats,
+                # Fresh stats for this hit — never a mutated/shared view
+                # of the cached result's own QueryStats (concurrent hits
+                # would race) and never the original solve's numbers:
+                # ``total_seconds`` measures *this* query and the work
+                # counters are zero because this query did no work.
+                stats = QueryStats(
+                    snapshot_hash=snapshot.content_hash,
+                    snapshot_version=snapshot.version,
+                    solver=query.solver,
+                    k=query.k,
+                    tau=query.tau,
                     result_cache="hit",
                     prepared_cache="skip",
+                    prepare_seconds=0.0,
                     select_seconds=0.0,
                     total_seconds=time.perf_counter() - t0,
+                    evaluations=0,
+                    positions_touched=0,
+                    selection_evaluations=0,
                 )
                 return replace(cached, stats=stats)
-        token.check()
 
         if self.execution == "sharded":
             if not query.capture_spec.is_default:
                 # The worker fleet's distinct-weight exact merge encodes
                 # the evenly-split weight family; other capture models
-                # degrade cleanly to the threaded path below (reported
-                # through sharded.capture_fallbacks / capture_supported).
+                # degrade cleanly to the threaded path below.  Exactly
+                # one fallback counter fires per fallen-back query:
+                # ``capture_fallbacks`` here, or ``fallbacks`` inside
+                # ``_execute_sharded`` when the fleet is unavailable —
+                # never both, so replayed traces can attribute every
+                # degraded query to one cause.
                 self._capture_fallbacks += 1
                 result = None
             else:
@@ -611,6 +712,7 @@ class SelectionEngine:
                 "queries": self._shard_queries,
                 "fallbacks": self._shard_fallbacks,
                 "failures": self._shard_failures,
+                "recoveries": self._shard_recoveries,
                 "capture_fallbacks": self._capture_fallbacks,
                 "capture_supported": ["evenly-split"],
             },

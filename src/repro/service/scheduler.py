@@ -31,17 +31,37 @@ from ..exceptions import (
 
 
 class CancelToken:
-    """Cooperative cancellation + deadline probe for one query."""
+    """Cooperative cancellation + deadline probe for one query.
 
-    def __init__(self, deadline: Optional[float] = None) -> None:
-        #: Absolute ``time.monotonic()`` deadline, or ``None``.
+    The token is the query's *clock*: ``started_at`` is stamped when the
+    token is created — at submission for scheduled queries, at call time
+    for direct ``execute`` — and both the deadline and the engine's
+    ``total_seconds`` accounting measure from that same instant, so a
+    recorded latency and a replayed deadline always mean the same thing.
+    All times are ``time.perf_counter()`` readings (one clock for
+    deadlines and latency accounting; mixing clock sources here is how
+    queue wait silently stops counting).
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        started_at: Optional[float] = None,
+    ) -> None:
+        #: ``time.perf_counter()`` at token creation — the zero point of
+        #: this query's latency and deadline accounting.
+        self.started_at = time.perf_counter() if started_at is None else started_at
+        #: Absolute ``time.perf_counter()`` deadline, or ``None``.
         self.deadline = deadline
         self._cancelled = False
 
     @classmethod
     def with_timeout(cls, seconds: Optional[float]) -> "CancelToken":
         """A token expiring ``seconds`` from now (no deadline if ``None``)."""
-        return cls(None if seconds is None else time.monotonic() + seconds)
+        now = time.perf_counter()
+        return cls(
+            None if seconds is None else now + seconds, started_at=now
+        )
 
     @property
     def cancelled(self) -> bool:
@@ -52,8 +72,14 @@ class CancelToken:
         self._cancelled = True
 
     def expired(self) -> bool:
-        """Whether the deadline has passed (without raising)."""
-        return self.deadline is not None and time.monotonic() > self.deadline
+        """Whether the deadline has passed (without raising).
+
+        ``>=`` rather than ``>``: a zero-second deadline makes
+        ``deadline == started_at``, and on a coarse clock an immediate
+        probe can read the very same tick — strict comparison would then
+        let an already-expired query run to completion.
+        """
+        return self.deadline is not None and time.perf_counter() >= self.deadline
 
     def check(self) -> None:
         """Raise if the query should stop; called between units of work."""
@@ -76,6 +102,15 @@ class QueryHandle:
 
     def done(self) -> bool:
         return self._future.done()
+
+    def add_done_callback(self, fn: Callable[["QueryHandle"], None]) -> None:
+        """Invoke ``fn(handle)`` when the query finishes (any outcome).
+
+        Runs on the worker thread that completed the query (or inline if
+        already done) — the hook the trace recorder uses to journal
+        outcomes without polling.
+        """
+        self._future.add_done_callback(lambda _f: fn(self))
 
     def cancel(self) -> None:
         """Cancel the query: drop it if still queued, else fire the token."""

@@ -1,0 +1,337 @@
+"""Analytic serving-cost model, fitted per machine by a calibration run.
+
+The model predicts the three costs a served query can pay, from the
+:func:`~repro.data.cost_features` of the population:
+
+* **resolve** — building the influence table: affine in the
+  position-candidate verification pair count (``verify_pairs``), with a
+  separate fit per ``batch_verify`` kernel;
+* **select** — one greedy ``k``-selection: affine in ``k × n_users``
+  (the CELF-screened segmented-sum work bound), per ``fast_select``
+  kernel;
+* **hit** — returning a cached result: a constant.
+
+Calibration (:meth:`CostModel.calibrate`) times those operations on a
+ladder of small synthetic populations and least-squares fits the
+coefficients — a few seconds of work that localises the model to the
+machine it will predict for.  :meth:`CostModel.predict_trace` then walks
+a recorded :class:`~repro.tuning.WorkloadTrace` under a candidate
+:class:`~repro.tuning.EngineConfig`, simulating the engine's two LRU
+caches exactly (same keys, same capacities, same invalidation on
+publish), and prices every query by where the simulation says it would
+be served from.  That simulation is what lets the tuner score thousands
+of knob combinations without replaying any of them.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import california_like, cost_features
+from ..exceptions import TuningError
+from ..influence import paper_default_pf
+from ..service import DatasetSnapshot, PreparedInstance
+from ..solvers import IQTSolver, IQTVariant
+from .config import EngineConfig
+from .trace import WorkloadTrace
+
+
+def _fit_affine(features: Sequence[float], seconds: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``t ≈ c0 + c1·x`` with non-negative coefficients."""
+    if len(features) != len(seconds) or not features:
+        raise TuningError("calibration needs at least one (feature, time) sample")
+    x = np.asarray(features, dtype=float)
+    y = np.asarray(seconds, dtype=float)
+    if len(x) == 1:
+        if x[0]:
+            return 0.0, float(y[0] / x[0])
+        return float(y[0]), 0.0
+    design = np.column_stack([np.ones_like(x), x])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    c0, c1 = float(coef[0]), float(coef[1])
+    # A slightly negative intercept/slope from noise would let the search
+    # "pay" negative time; clamp and refit the slope through the origin.
+    if c1 < 0:
+        c1 = 0.0
+    if c0 < 0:
+        c0 = 0.0
+        c1 = float((x @ y) / (x @ x)) if float(x @ x) else 0.0
+        c1 = max(c1, 0.0)
+    return c0, c1
+
+
+@dataclass(frozen=True)
+class PredictedCost:
+    """The cache simulation's verdict on one (trace, config) pair."""
+
+    total_s: float
+    result_hits: int
+    prepared_hits: int
+    resolves: int
+    queries: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total_s": self.total_s,
+            "result_hits": self.result_hits,
+            "prepared_hits": self.prepared_hits,
+            "resolves": self.resolves,
+            "queries": self.queries,
+        }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-machine coefficients for resolve / select / hit costs.
+
+    ``resolve_coeff`` / ``select_coeff`` map the kernel knob (``True``
+    for the vectorized kernel) to ``(c0, c1)`` of the affine fit.
+    """
+
+    resolve_coeff: Dict[bool, Tuple[float, float]]
+    select_coeff: Dict[bool, Tuple[float, float]]
+    hit_seconds: float
+
+    # ------------------------------------------------------------------
+    def resolve_seconds(
+        self, features: Dict[str, float], batch_verify: bool = True
+    ) -> float:
+        c0, c1 = self.resolve_coeff[bool(batch_verify)]
+        return c0 + c1 * features["verify_pairs"]
+
+    def select_seconds(
+        self,
+        features: Dict[str, float],
+        k: int,
+        fast_select: bool = True,
+        worlds_factor: float = 1.0,
+    ) -> float:
+        c0, c1 = self.select_coeff[bool(fast_select)]
+        return (c0 + c1 * k * features["n_users"]) * max(worlds_factor, 0.0)
+
+    # ------------------------------------------------------------------
+    def predict_trace(
+        self,
+        trace: WorkloadTrace,
+        config: EngineConfig,
+        features: Optional[Dict[str, float]] = None,
+    ) -> PredictedCost:
+        """Total predicted serve seconds for a trace under a config.
+
+        Simulates the engine's result and prepared caches exactly — keys
+        ``(generation, solver, τ, PF, capture)`` (+ ``k`` and mask for
+        results), the configured capacities, LRU order refreshed on hit,
+        everything dropped on publish except prepared entries kept (at a
+        churn-proportional patch cost) when ``config.incremental``.
+        """
+        if features is None:
+            features = cost_features(trace.build_dataset())
+        result_lru: "OrderedDict[Tuple, None]" = OrderedDict()
+        prepared_lru: "OrderedDict[Tuple, None]" = OrderedDict()
+        generation = 0
+        total = 0.0
+        result_hits = prepared_hits = resolves = queries = 0
+        n_users = max(features["n_users"], 1)
+        for event in trace.events:
+            if event.kind == "publish":
+                generation += 1
+                result_lru.clear()
+                churn_fraction = min(
+                    1.0, (event.churn or {}).get("moves", 0) / n_users
+                )
+                if config.incremental and churn_fraction <= 0.5:
+                    # Migrated entries survive under the new generation
+                    # at dirty-row patch cost each.
+                    patch = churn_fraction * self.resolve_seconds(features)
+                    total += patch * len(prepared_lru)
+                    prepared_lru = OrderedDict(
+                        ((generation,) + key[1:], None) for key in prepared_lru
+                    )
+                else:
+                    prepared_lru.clear()
+                continue
+            spec = event.query or {}
+            if event.outcome not in (None, "ok"):
+                continue  # cancelled/expired queries never reach the solver
+            queries += 1
+            k = int(spec.get("k", 1))
+            batch_verify = (
+                config.batch_verify
+                if config.batch_verify is not None
+                else bool(spec.get("batch_verify", True))
+            )
+            fast_select = (
+                config.fast_select
+                if config.fast_select is not None
+                else bool(spec.get("fast_select", True))
+            )
+            capture = spec.get("capture") or {}
+            worlds_factor = 1.0
+            if capture.get("model") == "fixed-worlds":
+                recorded = max(int(capture.get("worlds", 32)), 1)
+                effective = config.worlds if config.worlds is not None else recorded
+                worlds_factor = max(effective, 1) / recorded
+            base = (
+                generation,
+                spec.get("solver", "iqt"),
+                float(spec.get("tau", 0.7)),
+                str(spec.get("pf")),
+                (capture.get("model", "evenly-split"),
+                 capture.get("mnl_beta"), capture.get("worlds"),
+                 capture.get("world_seed"), capture.get("huff_utility")),
+            )
+            mask = spec.get("candidate_ids")
+            rkey = base + (k, tuple(mask) if mask else None)
+            use_cache = bool(spec.get("use_cache", True))
+            if use_cache and rkey in result_lru:
+                result_lru.move_to_end(rkey)
+                result_hits += 1
+                total += self.hit_seconds
+                continue
+            cost = self.select_seconds(
+                features, k, fast_select, worlds_factor=worlds_factor
+            )
+            if use_cache and base in prepared_lru:
+                prepared_lru.move_to_end(base)
+                prepared_hits += 1
+            else:
+                cost += self.resolve_seconds(features, batch_verify)
+                resolves += 1
+                if use_cache:
+                    prepared_lru[base] = None
+                    while len(prepared_lru) > config.prepared_cache_size:
+                        prepared_lru.popitem(last=False)
+            if use_cache:
+                result_lru[rkey] = None
+                while len(result_lru) > config.result_cache_size:
+                    result_lru.popitem(last=False)
+            total += cost
+        return PredictedCost(
+            total_s=total,
+            result_hits=result_hits,
+            prepared_hits=prepared_hits,
+            resolves=resolves,
+            queries=queries,
+        )
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-portable coefficients (knob keys become strings)."""
+        return {
+            "resolve_coeff": {
+                str(knob).lower(): list(c) for knob, c in self.resolve_coeff.items()
+            },
+            "select_coeff": {
+                str(knob).lower(): list(c) for knob, c in self.select_coeff.items()
+            },
+            "hit_seconds": self.hit_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "CostModel":
+        def knobbed(d: Dict[str, Any]) -> Dict[bool, Tuple[float, float]]:
+            return {k == "true": (float(v[0]), float(v[1])) for k, v in d.items()}
+
+        return cls(
+            resolve_coeff=knobbed(spec["resolve_coeff"]),
+            select_coeff=knobbed(spec["select_coeff"]),
+            hit_seconds=float(spec["hit_seconds"]),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrate(
+        cls,
+        scales: Sequence[Tuple[int, int]] = ((120, 12), (240, 20), (360, 28)),
+        tau: float = 0.65,
+        k: int = 4,
+        repeats: int = 2,
+        seed: int = 0,
+    ) -> "CostModel":
+        """Fit the machine-local coefficients from a short measured run.
+
+        ``scales`` is a ladder of ``(n_users, n_candidates)`` synthetic
+        populations; each is resolved under both verification kernels
+        and selected under both greedy kernels, best-of-``repeats``
+        timed, and the affine coefficients least-squares fitted.
+        """
+        if repeats < 1:
+            raise TuningError(f"repeats must be >= 1, got {repeats}")
+        pf = paper_default_pf()
+        resolve_samples: Dict[bool, Tuple[list, list]] = {
+            True: ([], []), False: ([], [])
+        }
+        select_samples: Dict[bool, Tuple[list, list]] = {
+            True: ([], []), False: ([], [])
+        }
+        hit_times = []
+        for n_users, n_candidates in scales:
+            dataset = california_like(
+                n_users=n_users,
+                n_candidates=n_candidates,
+                n_facilities=2 * n_candidates,
+                seed=seed,
+            )
+            features = cost_features(dataset)
+            for batch_verify in (True, False):
+                best = min(
+                    _timed(
+                        lambda: IQTSolver(
+                            variant=IQTVariant.IQT, batch_verify=batch_verify
+                        ).resolve(dataset, tau, pf)
+                    )
+                    for _ in range(repeats)
+                )
+                xs, ys = resolve_samples[batch_verify]
+                xs.append(features["verify_pairs"])
+                ys.append(best)
+            snapshot = DatasetSnapshot(dataset)
+            prepared = PreparedInstance(snapshot, IQTSolver(), tau, pf)
+            prepared.select(k)  # build the CSR matrix outside the timing
+            for fast_select in (True, False):
+                best = min(
+                    _timed(lambda: prepared.select(k, fast_select=fast_select))
+                    for _ in range(repeats)
+                )
+                xs, ys = select_samples[fast_select]
+                xs.append(k * features["n_users"])
+                ys.append(best)
+            hit_times.append(_hit_seconds(dataset, tau, k))
+        return cls(
+            resolve_coeff={
+                knob: _fit_affine(xs, ys)
+                for knob, (xs, ys) in resolve_samples.items()
+            },
+            select_coeff={
+                knob: _fit_affine(xs, ys)
+                for knob, (xs, ys) in select_samples.items()
+            },
+            hit_seconds=float(np.median(hit_times)),
+        )
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _hit_seconds(dataset, tau: float, k: int) -> float:
+    """Median measured latency of a warm result-cache hit."""
+    from ..service import SelectionEngine, SelectionQuery
+
+    engine = SelectionEngine(dataset, max_workers=1)
+    try:
+        query = SelectionQuery(k=k, tau=tau)
+        engine.execute(query)
+        samples = [
+            engine.execute(query).stats.total_seconds for _ in range(5)
+        ]
+    finally:
+        engine.shutdown()
+    return float(np.median(samples))

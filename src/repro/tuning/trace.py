@@ -1,0 +1,651 @@
+"""Workload traces: JSONL record of served queries, and their replay.
+
+A :class:`WorkloadTrace` is the portable record of one serving session:
+a header naming the dataset (a synthetic-population spec, so any process
+can rebuild the bit-identical snapshot) followed by one event per line —
+``query`` events carrying the :meth:`~repro.service.SelectionQuery.as_dict`
+form, the arrival offset, the outcome and the served
+:class:`~repro.service.QueryStats`; ``publish`` events carrying the
+deterministic churn spec (move count + seed) applied to the streaming
+session between bursts.
+
+:class:`TraceRecorder` wraps a live :class:`~repro.service.SelectionEngine`
+and journals everything that passes through it; :class:`TraceReplayer`
+rebuilds the population from the header and re-issues the events against
+any :class:`~repro.tuning.EngineConfig`:
+
+* ``pacing="asap"`` — sequential, as fast as possible.  Deterministic:
+  replaying the same trace twice under one config yields identical
+  selections *and* an identical cache-event sequence (the property the
+  regression fixtures pin).
+* ``pacing="open-loop"`` — queries are submitted on the engine's
+  scheduler at their recorded arrival offsets, so queue wait and
+  concurrency are exercised; latencies are honest (the deadline clock
+  and ``total_seconds`` both start at submission) but cache-population
+  order is scheduler-dependent.
+
+Queries recorded as ``cancelled`` are replayed with a pre-cancelled
+token — the recording says the caller abandoned them, and replaying the
+abandonment (rather than racing a live cancel) keeps the outcome
+sequence deterministic.  Deadline outcomes replay from the recorded
+``deadline_s`` itself.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..data import california_like, new_york_like
+from ..entities import SpatialDataset
+from ..exceptions import (
+    DeadlineExceededError,
+    QueryCancelledError,
+    ReproError,
+    TuningError,
+)
+from ..service import (
+    CancelToken,
+    QueryHandle,
+    QueryResult,
+    SelectionEngine,
+    SelectionQuery,
+)
+from .config import EngineConfig
+
+#: Trace file format version; bumped on incompatible schema changes.
+TRACE_VERSION = 1
+
+_DATASET_MAKERS = {"california": california_like, "new-york": new_york_like}
+
+
+def build_dataset(spec: Dict[str, Any]) -> SpatialDataset:
+    """Rebuild the synthetic population named by a trace header.
+
+    The spec pins ``kind`` (``california`` / ``new-york``), the
+    population sizes and the seed; the generators are deterministic, so
+    every replay sees the exact snapshot (same content hash) that was
+    recorded against.
+    """
+    kind = spec.get("kind", "california")
+    maker = _DATASET_MAKERS.get(kind)
+    if maker is None:
+        raise TuningError(
+            f"unknown dataset kind {kind!r}; "
+            f"expected one of {sorted(_DATASET_MAKERS)}"
+        )
+    return maker(
+        n_users=int(spec.get("n_users", 200)),
+        n_candidates=int(spec.get("n_candidates", 20)),
+        n_facilities=int(spec.get("n_facilities", 40)),
+        seed=int(spec.get("seed", 0)),
+    )
+
+
+def dataset_spec(
+    kind: str = "california",
+    n_users: int = 200,
+    n_candidates: int = 20,
+    n_facilities: int = 40,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """A trace-header dataset spec (validated against the known makers)."""
+    if kind not in _DATASET_MAKERS:
+        raise TuningError(
+            f"unknown dataset kind {kind!r}; "
+            f"expected one of {sorted(_DATASET_MAKERS)}"
+        )
+    return {
+        "kind": kind,
+        "n_users": n_users,
+        "n_candidates": n_candidates,
+        "n_facilities": n_facilities,
+        "seed": seed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Events and the trace container
+# ----------------------------------------------------------------------
+@dataclass
+class TraceEvent:
+    """One journaled event: a served query or a streaming republish."""
+
+    kind: str  # "query" | "publish"
+    offset_s: float
+    query: Optional[Dict[str, Any]] = None
+    outcome: Optional[str] = None  # "ok" | "cancelled" | "deadline" | "error:…"
+    selected: Optional[List[int]] = None
+    objective: Optional[float] = None
+    stats: Optional[Dict[str, Any]] = None
+    churn: Optional[Dict[str, int]] = None  # {"moves": N, "seed": S}
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "offset_s": self.offset_s}
+        for key in ("query", "outcome", "selected", "objective", "stats", "churn"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "TraceEvent":
+        kind = spec.get("kind")
+        if kind not in ("query", "publish"):
+            raise TuningError(f"unknown trace event kind {kind!r}")
+        return cls(
+            kind=kind,
+            offset_s=float(spec.get("offset_s", 0.0)),
+            query=spec.get("query"),
+            outcome=spec.get("outcome"),
+            selected=spec.get("selected"),
+            objective=spec.get("objective"),
+            stats=spec.get("stats"),
+            churn=spec.get("churn"),
+        )
+
+
+class WorkloadTrace:
+    """An ordered event journal plus the header that makes it replayable.
+
+    Args:
+        name: Human-readable workload tag.
+        dataset: Dataset spec (see :func:`dataset_spec`).
+        streaming: Whether the population was served through a streaming
+            session (the replayer then routes publishes through the same
+            delta-chained bridge the recorder used).
+        engine: The engine config the trace was recorded under (``None``
+            means all defaults) — provenance, and the tuner's baseline.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dataset: Dict[str, Any],
+        streaming: bool = False,
+        engine: Optional[Dict[str, Any]] = None,
+        events: Optional[List[TraceEvent]] = None,
+    ) -> None:
+        self.name = name
+        self.dataset = dict(dataset)
+        self.streaming = streaming
+        self.engine = engine
+        self.events: List[TraceEvent] = list(events or ())
+
+    # ------------------------------------------------------------------
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def query_events(self) -> Iterator[TraceEvent]:
+        """The query events, in arrival order."""
+        return (e for e in self.events if e.kind == "query")
+
+    def max_k(self) -> int:
+        """Largest recorded ``k`` (1 for an all-publish trace)."""
+        return max(
+            (int(e.query["k"]) for e in self.query_events() if e.query),
+            default=1,
+        )
+
+    def build_dataset(self) -> SpatialDataset:
+        """Rebuild the recorded population."""
+        return build_dataset(self.dataset)
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write header + one event per line as JSONL."""
+        path = Path(path)
+        header = {
+            "kind": "header",
+            "version": TRACE_VERSION,
+            "name": self.name,
+            "dataset": self.dataset,
+            "streaming": self.streaming,
+            "engine": self.engine,
+        }
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.as_dict()) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WorkloadTrace":
+        """Parse a JSONL trace file; malformed input raises ``TuningError``."""
+        path = Path(path)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise TuningError(f"cannot read trace {path}: {exc}") from exc
+        if not lines:
+            raise TuningError(f"trace {path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TuningError(f"trace {path} header is not JSON: {exc}") from exc
+        if header.get("kind") != "header":
+            raise TuningError(f"trace {path} does not start with a header line")
+        version = header.get("version")
+        if version != TRACE_VERSION:
+            raise TuningError(
+                f"trace {path} has version {version!r}; "
+                f"this reader supports {TRACE_VERSION}"
+            )
+        if "dataset" not in header:
+            raise TuningError(f"trace {path} header carries no dataset spec")
+        events = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TuningError) as exc:
+                raise TuningError(
+                    f"trace {path} line {lineno} is malformed: {exc}"
+                ) from exc
+        return cls(
+            name=header.get("name", path.stem),
+            dataset=header["dataset"],
+            streaming=bool(header.get("streaming", False)),
+            engine=header.get("engine"),
+            events=events,
+        )
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+def _classify(exc: BaseException) -> str:
+    """Map a query exception to its journaled outcome string."""
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
+    if isinstance(exc, QueryCancelledError):
+        return "cancelled"
+    return f"error:{type(exc).__name__}"
+
+
+class TraceRecorder:
+    """Journal every query served by one engine into a
+    :class:`WorkloadTrace`.
+
+    Wraps (rather than patches) the engine: callers route their queries
+    through :meth:`execute` / :meth:`submit` and republishes through
+    :meth:`record_publish`.  Offsets are measured from construction on
+    the same clock the engine's deadline tokens use.
+    """
+
+    def __init__(
+        self,
+        engine: SelectionEngine,
+        dataset: Dict[str, Any],
+        name: str = "trace",
+        streaming: bool = False,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.trace = WorkloadTrace(
+            name,
+            dataset,
+            streaming=streaming,
+            engine=engine_config.as_dict() if engine_config else None,
+        )
+        self._t0 = time.perf_counter()
+
+    def _offset(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _fill(
+        self,
+        event: TraceEvent,
+        result: Optional[QueryResult],
+        exc: Optional[BaseException],
+    ) -> None:
+        if exc is not None:
+            event.outcome = _classify(exc)
+            return
+        assert result is not None
+        event.outcome = "ok"
+        event.selected = list(result.selected)
+        event.objective = result.objective
+        event.stats = result.stats.as_dict()
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: SelectionQuery, cancel: Optional[CancelToken] = None
+    ) -> QueryResult:
+        """Serve synchronously, journaling the outcome (and re-raising)."""
+        event = TraceEvent(
+            kind="query", offset_s=self._offset(), query=query.as_dict()
+        )
+        self.trace.append(event)
+        try:
+            result = self.engine.execute(query, cancel=cancel)
+        except ReproError as exc:
+            self._fill(event, None, exc)
+            raise
+        self._fill(event, result, None)
+        return result
+
+    def submit(self, query: SelectionQuery) -> QueryHandle:
+        """Enqueue on the engine's scheduler; the journal entry is filled
+        when the query completes (journal order stays submission order)."""
+        event = TraceEvent(
+            kind="query", offset_s=self._offset(), query=query.as_dict()
+        )
+        self.trace.append(event)
+        handle = self.engine.submit(query)
+
+        def finish(h: QueryHandle) -> None:
+            try:
+                result = h.result(0)
+            except BaseException as exc:  # journal any failure mode
+                self._fill(event, None, exc)
+            else:
+                self._fill(event, result, None)
+
+        handle.add_done_callback(finish)
+        return handle
+
+    def record_publish(self, session: Any, moves: int, seed: int) -> Any:
+        """Apply a deterministic churn step to ``session`` and republish.
+
+        The journal keeps only ``(moves, seed)`` — the jitter is a pure
+        function of those plus the session state, so the replayer
+        reconstructs the identical snapshot (same content hash).
+        """
+        from .canned import jitter_users
+
+        jitter_users(session, moves, seed)
+        snapshot = self.engine.publish(session.snapshot())
+        self.trace.append(
+            TraceEvent(
+                kind="publish",
+                offset_s=self._offset(),
+                churn={"moves": int(moves), "seed": int(seed)},
+            )
+        )
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplayedQuery:
+    """One replayed query's observable behaviour."""
+
+    index: int
+    outcome: str
+    latency_s: float
+    result_cache: str = ""
+    prepared_cache: str = ""
+    selected: Optional[Tuple[int, ...]] = None
+    objective: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "outcome": self.outcome,
+            "latency_s": self.latency_s,
+            "result_cache": self.result_cache,
+            "prepared_cache": self.prepared_cache,
+            "selected": None if self.selected is None else list(self.selected),
+            "objective": self.objective,
+        }
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Everything one replay observed, plus latency aggregates."""
+
+    trace_name: str
+    config: Dict[str, Any]
+    pacing: str
+    wall_s: float
+    events: Tuple[ReplayedQuery, ...]
+    engine_stats: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok_latencies(self) -> List[float]:
+        return sorted(e.latency_s for e in self.events if e.outcome == "ok")
+
+    @property
+    def p50_s(self) -> float:
+        """Median served-query latency (failed queries excluded)."""
+        return _percentile(self.ok_latencies, 0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return _percentile(self.ok_latencies, 0.95)
+
+    @property
+    def mean_s(self) -> float:
+        lat = self.ok_latencies
+        return sum(lat) / len(lat) if lat else 0.0
+
+    def cache_sequence(self) -> Tuple[Tuple[str, str], ...]:
+        """The ``(result_cache, prepared_cache)`` provenance per query —
+        the determinism observable the canned fixtures pin."""
+        return tuple((e.result_cache, e.prepared_cache) for e in self.events)
+
+    def selections(self) -> Tuple[Optional[Tuple[int, ...]], ...]:
+        return tuple(e.selected for e in self.events)
+
+    def outcomes(self) -> Tuple[str, ...]:
+        return tuple(e.outcome for e in self.events)
+
+    def selection_mismatches(self, trace: WorkloadTrace) -> int:
+        """Replayed selections differing from the recording (ok queries).
+
+        Zero for any exact config — the engine's kernels are
+        bit-identical across knobs; nonzero only under semantics-changing
+        overrides (a different fixed-worlds world count).
+        """
+        mismatches = 0
+        replayed = {e.index: e for e in self.events}
+        for index, event in enumerate(
+            e for e in trace.events if e.kind == "query"
+        ):
+            mine = replayed.get(index)
+            if mine is None or event.outcome != "ok" or mine.outcome != "ok":
+                continue
+            if tuple(event.selected or ()) != (mine.selected or ()):
+                mismatches += 1
+        return mismatches
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace": self.trace_name,
+            "config": self.config,
+            "pacing": self.pacing,
+            "wall_s": self.wall_s,
+            "queries": len(self.events),
+            "ok": sum(1 for e in self.events if e.outcome == "ok"),
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "mean_s": self.mean_s,
+            "result_hits": sum(
+                1 for e in self.events if e.result_cache == "hit"
+            ),
+            "prepared_hits": sum(
+                1 for e in self.events if e.prepared_cache == "hit"
+            ),
+        }
+
+
+class TraceReplayer:
+    """Replay a :class:`WorkloadTrace` against a candidate config."""
+
+    def __init__(self, trace: WorkloadTrace) -> None:
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    def _publish(self, recorder_free_engine: SelectionEngine, session: Any,
+                 event: TraceEvent) -> None:
+        from .canned import jitter_users
+
+        if session is None:
+            raise TuningError(
+                "trace contains publish events but is not marked streaming"
+            )
+        churn = event.churn or {}
+        jitter_users(session, int(churn.get("moves", 0)), int(churn.get("seed", 0)))
+        recorder_free_engine.publish(session.snapshot())
+
+    def _setup(self, config: EngineConfig):
+        dataset = self.trace.build_dataset()
+        session = None
+        if self.trace.streaming:
+            from ..streaming import StreamingMC2LS
+
+            session = StreamingMC2LS.from_dataset(dataset, k=1)
+            first: Any = session.snapshot()
+        else:
+            first = dataset
+        engine = config.make_engine(first)
+        return engine, session
+
+    def replay(
+        self,
+        config: Optional[EngineConfig] = None,
+        pacing: str = "asap",
+    ) -> ReplayReport:
+        """Run the full trace once and report what happened.
+
+        ``asap`` serves queries sequentially on the calling thread (the
+        deterministic mode); ``open-loop`` submits each query on the
+        engine's scheduler at its recorded arrival offset, so deadlines
+        and queue wait behave exactly as in production.
+        """
+        if pacing not in ("asap", "open-loop"):
+            raise TuningError(
+                f"unknown pacing {pacing!r}; expected 'asap' or 'open-loop'"
+            )
+        config = config or EngineConfig()
+        engine, session = self._setup(config)
+        records: List[ReplayedQuery] = []
+        pending: List[Tuple[int, TraceEvent, QueryHandle]] = []
+        t_start = time.perf_counter()
+        try:
+            index = -1
+            for event in self.trace.events:
+                if event.kind == "publish":
+                    self._drain(pending, records)
+                    self._publish(engine, session, event)
+                    continue
+                index += 1
+                query = config.apply(SelectionQuery.from_dict(event.query or {}))
+                if event.outcome == "cancelled":
+                    # The recording says the caller abandoned this query;
+                    # replay the abandonment deterministically.
+                    records.append(self._run(engine, index, query, cancelled=True))
+                    continue
+                if pacing == "open-loop":
+                    delay = event.offset_s - (time.perf_counter() - t_start)
+                    if delay > 0:
+                        self._drain(pending, records, timeout=delay)
+                        remaining = event.offset_s - (
+                            time.perf_counter() - t_start
+                        )
+                        if remaining > 0:
+                            time.sleep(remaining)
+                    pending.append((index, event, engine.submit(query)))
+                else:
+                    records.append(self._run(engine, index, query))
+            self._drain(pending, records)
+            wall = time.perf_counter() - t_start
+            stats = engine.stats()
+        finally:
+            engine.shutdown()
+        records.sort(key=lambda r: r.index)
+        return ReplayReport(
+            trace_name=self.trace.name,
+            config=config.as_dict(),
+            pacing=pacing,
+            wall_s=wall,
+            events=tuple(records),
+            engine_stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        engine: SelectionEngine,
+        index: int,
+        query: SelectionQuery,
+        cancelled: bool = False,
+    ) -> ReplayedQuery:
+        token = CancelToken.with_timeout(query.deadline_s)
+        if cancelled:
+            token.cancel()
+        try:
+            result = engine.execute(query, cancel=token)
+        except ReproError as exc:
+            return ReplayedQuery(
+                index=index,
+                outcome=_classify(exc),
+                latency_s=time.perf_counter() - token.started_at,
+            )
+        return ReplayedQuery(
+            index=index,
+            outcome="ok",
+            latency_s=result.stats.total_seconds,
+            result_cache=result.stats.result_cache,
+            prepared_cache=result.stats.prepared_cache,
+            selected=tuple(result.selected),
+            objective=result.objective,
+        )
+
+    def _drain(
+        self,
+        pending: List[Tuple[int, TraceEvent, QueryHandle]],
+        records: List[ReplayedQuery],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Collect finished open-loop handles (all of them when no timeout)."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while pending:
+            index, _event, handle = pending[0]
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not handle.done():
+                    return
+            try:
+                result = handle.result(
+                    None if deadline is None else max(0.0, deadline - time.perf_counter())
+                )
+            except ReproError as exc:
+                records.append(
+                    ReplayedQuery(
+                        index=index,
+                        outcome=_classify(exc),
+                        latency_s=time.perf_counter() - handle.token.started_at,
+                    )
+                )
+            else:
+                records.append(
+                    ReplayedQuery(
+                        index=index,
+                        outcome="ok",
+                        latency_s=result.stats.total_seconds,
+                        result_cache=result.stats.result_cache,
+                        prepared_cache=result.stats.prepared_cache,
+                        selected=tuple(result.selected),
+                        objective=result.objective,
+                    )
+                )
+            pending.pop(0)

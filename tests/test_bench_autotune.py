@@ -1,0 +1,60 @@
+"""Smoke test: the autotune benchmark must run and record a valid point.
+
+Invokes ``benchmarks/bench_autotune.py --smoke`` as a subprocess and
+asserts all three benchmark invariants: replays are deterministic,
+exact configs reproduce recorded selections, and the tuned config's
+measured P50 beats the all-defaults baseline.  The smoke run writes to a
+temporary path so the committed full-scale ``BENCH_autotune.json`` at
+the repo root is not overwritten by test runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_smoke_records_trajectory_point(tmp_path):
+    out_path = tmp_path / "BENCH_autotune.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_autotune.py"),
+            "--smoke",
+            "--out",
+            str(out_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=580,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert out_path.exists()
+    payload = json.loads(out_path.read_text())
+    assert payload["benchmark"] == "autotune"
+    assert payload["trace_queries"] >= 40
+    assert payload["candidates_scored"] >= 100
+    assert payload["replay_deterministic"] is True
+    assert payload["replay_exact"] is True
+    assert payload["tuned_beats_baseline"] is True
+
+
+def test_committed_trajectory_point_is_full_scale():
+    """The recorded repo-root point meets the acceptance floor:
+    the tuned config's replayed P50 beats the all-defaults config."""
+    payload = json.loads((REPO_ROOT / "BENCH_autotune.json").read_text())
+    assert payload["n_users"] >= 400
+    assert payload["n_candidates"] >= 40
+    assert payload["candidates_scored"] >= 500
+    assert payload["replay_deterministic"] is True
+    assert payload["replay_exact"] is True
+    assert payload["tuned_beats_baseline"] is True
+    assert payload["tuned_p50_s"] < payload["baseline_p50_s"]
+    assert payload["speedup_p50"] > 1.0

@@ -1,0 +1,195 @@
+"""Timing/accounting bugfix sweep of the serving layer.
+
+Pins the satellite fixes:
+
+* **one deadline clock** — ``CancelToken`` stamps ``started_at`` and the
+  deadline from the same ``time.perf_counter()`` reading, a zero-second
+  deadline trips ``expired()`` immediately (``>=``, not ``>``), and
+  ``execute`` measures ``total_seconds`` from the token's
+  ``started_at`` — submission time for scheduled queries — so queue wait
+  counts against both the latency *and* the deadline;
+* **expired queries are never served** — not even from a warm result
+  cache: the token is checked before the cache lookup;
+* **hit stats are fresh** — a result-cache hit reports its own
+  ``total_seconds`` and zero work counters, and never aliases the cached
+  entry's stats object;
+* **sharded fallback accounting** — exactly one of ``capture_fallbacks``
+  / ``fallbacks`` fires per degraded query, and coordinator respawns
+  after a fleet break are reported separately as ``recoveries``.
+"""
+
+import time
+
+import pytest
+
+from repro.capture import CaptureSpec
+from repro.exceptions import DeadlineExceededError, ShardError
+from repro.service import CancelToken, SelectionEngine, SelectionQuery
+
+
+@pytest.fixture
+def engine(small_instance):
+    eng = SelectionEngine(small_instance, max_workers=2)
+    yield eng
+    eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# CancelToken clock
+# ----------------------------------------------------------------------
+class TestTokenClock:
+    def test_deadline_and_started_at_share_one_reading(self):
+        token = CancelToken.with_timeout(5.0)
+        assert token.deadline - token.started_at == pytest.approx(5.0)
+
+    def test_zero_deadline_expires_immediately(self):
+        token = CancelToken.with_timeout(0.0)
+        assert token.expired()
+        with pytest.raises(DeadlineExceededError):
+            token.check()
+
+    def test_no_deadline_never_expires(self):
+        token = CancelToken.with_timeout(None)
+        assert not token.expired()
+        token.check()
+
+    def test_started_at_override_is_kept(self):
+        now = time.perf_counter()
+        token = CancelToken(deadline=now + 1.0, started_at=now)
+        assert token.started_at == now
+
+
+# ----------------------------------------------------------------------
+# execute() measures from the token's clock
+# ----------------------------------------------------------------------
+class TestExecuteClock:
+    def test_total_seconds_measured_from_token_creation(self, engine):
+        """A token created before ``execute`` (the submit path's shape)
+        contributes its age to ``total_seconds`` — queue wait counts."""
+        token = CancelToken.with_timeout(None)
+        time.sleep(0.05)
+        result = engine.execute(SelectionQuery(k=2, tau=0.6), cancel=token)
+        assert result.stats.total_seconds >= 0.05
+
+    def test_submitted_query_total_includes_queue_wait(self, small_instance):
+        """With one worker pinned by a slow query, the queued query's
+        ``total_seconds`` spans its wait, not just its solve."""
+        eng = SelectionEngine(small_instance, max_workers=1)
+        try:
+            slow = eng.submit(SelectionQuery(k=6, tau=0.55, use_cache=False))
+            fast = eng.submit(SelectionQuery(k=1, tau=0.7, use_cache=False))
+            slow_result = slow.result(30.0)
+            fast_result = fast.result(30.0)
+        finally:
+            eng.shutdown()
+        # The queued query waited for the whole slow solve first.
+        assert fast_result.stats.total_seconds >= (
+            slow_result.stats.select_seconds
+        )
+
+    def test_zero_deadline_rejected_even_on_warm_cache(self, engine):
+        query = SelectionQuery(k=2, tau=0.6)
+        engine.execute(query)  # warm the result cache
+        with pytest.raises(DeadlineExceededError):
+            engine.execute(SelectionQuery(k=2, tau=0.6, deadline_s=0.0))
+        # The warm entry is still served to unconstrained callers.
+        assert engine.execute(query).stats.result_cache == "hit"
+
+
+# ----------------------------------------------------------------------
+# Hit-path stats freshness
+# ----------------------------------------------------------------------
+class TestHitStats:
+    def test_hit_reports_its_own_latency_and_zero_work(self, engine):
+        query = SelectionQuery(k=3, tau=0.6)
+        miss = engine.execute(query)
+        hit = engine.execute(query)
+        assert miss.stats.result_cache == "miss"
+        assert hit.stats.result_cache == "hit"
+        assert hit.stats.prepared_cache == "skip"
+        assert hit.stats.evaluations == 0
+        assert hit.stats.positions_touched == 0
+        assert hit.stats.selection_evaluations == 0
+        assert hit.stats.prepare_seconds == 0.0
+        assert hit.stats.select_seconds == 0.0
+        assert 0 < hit.stats.total_seconds < miss.stats.total_seconds
+
+    def test_hit_stats_never_alias_the_cached_entry(self, engine):
+        query = SelectionQuery(k=3, tau=0.6)
+        miss = engine.execute(query)
+        first_hit = engine.execute(query)
+        second_hit = engine.execute(query)
+        assert first_hit.stats is not miss.stats
+        assert first_hit.stats is not second_hit.stats
+        # The cached entry's own record still says what the solve cost.
+        assert engine.execute(query).stats.result_cache == "hit"
+        assert miss.stats.result_cache == "miss"
+        assert miss.stats.evaluations > 0
+
+    def test_hit_payload_matches_cached_result(self, engine):
+        query = SelectionQuery(k=3, tau=0.6)
+        miss = engine.execute(query)
+        hit = engine.execute(query)
+        assert hit.selected == miss.selected
+        assert hit.objective == miss.objective
+        assert hit.gains == miss.gains
+
+
+# ----------------------------------------------------------------------
+# Sharded fallback / recovery accounting
+# ----------------------------------------------------------------------
+class TestShardedAccounting:
+    def test_capture_fallback_fires_exactly_one_counter(self, small_instance):
+        eng = SelectionEngine(
+            small_instance, execution="sharded", shard_workers=2
+        )
+        try:
+            eng.execute(
+                SelectionQuery(
+                    k=2, tau=0.6, capture=CaptureSpec(model="mnl")
+                )
+            )
+            sharded = eng.stats()["sharded"]
+        finally:
+            eng.shutdown()
+        assert sharded["capture_fallbacks"] == 1
+        assert sharded["fallbacks"] == 0
+        assert sharded["queries"] == 0  # never reached the fleet
+
+    def test_stats_reports_recoveries_distinctly(self, small_instance):
+        eng = SelectionEngine(
+            small_instance, execution="sharded", shard_workers=2
+        )
+        try:
+            sharded = eng.stats()["sharded"]
+            assert sharded["recoveries"] == 0
+            assert "fallbacks" in sharded and "capture_fallbacks" in sharded
+        finally:
+            eng.shutdown()
+
+    def test_fleet_break_then_respawn_counts_one_recovery(self, small_instance):
+        eng = SelectionEngine(
+            small_instance, execution="sharded", shard_workers=2
+        )
+        try:
+            eng.execute(SelectionQuery(k=2))
+            coord = eng._coordinator
+            assert coord is not None
+            for worker in coord._workers:
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            with pytest.raises(ShardError):
+                eng.execute(SelectionQuery(k=3, use_cache=False))
+            sharded = eng.stats()["sharded"]
+            assert sharded["failures"] == 1
+            assert sharded["recoveries"] == 0  # not respawned yet
+            # Next query respawns the fleet and still serves sharded:
+            # a recovery, not a fallback.
+            result = eng.execute(SelectionQuery(k=2, use_cache=False))
+            assert result.selected
+            sharded = eng.stats()["sharded"]
+            assert sharded["recoveries"] == 1
+            assert sharded["fallbacks"] == 0
+            assert sharded["capture_fallbacks"] == 0
+        finally:
+            eng.shutdown()
