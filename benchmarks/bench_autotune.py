@@ -14,6 +14,8 @@ The full pipeline under one timer:
    matches the recording (exact configs cannot change results), and
    (c) the tuned measured P50 beats the baseline's.
 
+Stages 1–3 are repeat-timed (median/spread via
+:mod:`repro.bench.timing`); the headline ``*_s`` numbers are medians.
 Writes the ``BENCH_autotune.json`` trajectory point at the repo root;
 ``--smoke`` (wired into the test suite and CI) runs a reduced scale to a
 temporary path so the committed point cannot rot.
@@ -22,9 +24,9 @@ temporary path so the committed point cannot rot.
 import argparse
 import json
 import tempfile
-import time
 from pathlib import Path
 
+from repro.bench.timing import repeat_timed
 from repro.tuning import (
     CostModel,
     KnobTuner,
@@ -41,30 +43,44 @@ def run_autotune_benchmark(
     n_facilities: int = 80,
     validate_top: int = 2,
     calibrate_repeats: int = 2,
+    stage_repeats: int = 3,
     out_path: Path = None,
 ) -> dict:
-    """Record → calibrate → tune → verify, timed per stage."""
+    """Record → calibrate → tune → verify, each stage repeat-timed.
+
+    Stage timings follow the repeats/median/spread discipline of
+    :mod:`repro.bench.timing`: each stage runs ``stage_repeats`` times,
+    the headline ``record_s``/``calibrate_s``/``tune_s`` numbers are
+    medians, and the full summaries land under ``stages``.
+    """
     with tempfile.TemporaryDirectory() as tmp:
         trace_path = Path(tmp) / "bursty.jsonl"
-        t0 = time.perf_counter()
-        trace = record_canned(
-            "bursty",
-            trace_path,
-            n_users=n_users,
-            n_candidates=n_candidates,
-            n_facilities=n_facilities,
-            seed=0,
+        record_timing = repeat_timed(
+            lambda: record_canned(
+                "bursty",
+                trace_path,
+                n_users=n_users,
+                n_candidates=n_candidates,
+                n_facilities=n_facilities,
+                seed=0,
+            ),
+            stage_repeats,
         )
-        record_s = time.perf_counter() - t0
+        trace = record_timing.result
 
-        t0 = time.perf_counter()
-        cost_model = CostModel.calibrate(repeats=calibrate_repeats)
-        calibrate_s = time.perf_counter() - t0
+        calibrate_timing = repeat_timed(
+            lambda: CostModel.calibrate(repeats=calibrate_repeats),
+            stage_repeats,
+        )
+        cost_model = calibrate_timing.result
 
-        t0 = time.perf_counter()
-        tuner = KnobTuner(trace, cost_model=cost_model)
-        recommendation = tuner.tune(validate_top=validate_top)
-        tune_s = time.perf_counter() - t0
+        tune_timing = repeat_timed(
+            lambda: KnobTuner(trace, cost_model=cost_model).tune(
+                validate_top=validate_top
+            ),
+            stage_repeats,
+        )
+        recommendation = tune_timing.result
 
         replayer = TraceReplayer(trace)
         first = replayer.replay(recommendation.config)
@@ -89,9 +105,15 @@ def run_autotune_benchmark(
         "n_facilities": n_facilities,
         "trace_events": len(trace),
         "trace_queries": sum(1 for _ in trace.query_events()),
-        "record_s": record_s,
-        "calibrate_s": calibrate_s,
-        "tune_s": tune_s,
+        "record_s": record_timing.summary()["median_s"],
+        "calibrate_s": calibrate_timing.summary()["median_s"],
+        "tune_s": tune_timing.summary()["median_s"],
+        "stage_repeats": stage_repeats,
+        "stages": {
+            "record": record_timing.summary(),
+            "calibrate": calibrate_timing.summary(),
+            "tune": tune_timing.summary(),
+        },
         "candidates_scored": recommendation.candidates_scored,
         "cost_model": cost_model.as_dict(),
         "recommendation": recommendation.as_dict(),
@@ -119,6 +141,10 @@ def main(argv=None) -> int:
     parser.add_argument("--users", type=int, default=None)
     parser.add_argument("--candidates", type=int, default=None)
     parser.add_argument(
+        "--stage-repeats", type=int, default=None,
+        help="timing repeats per pipeline stage (default: 3 full, 1 smoke)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -129,17 +155,19 @@ def main(argv=None) -> int:
     if args.smoke:
         scale = dict(
             n_users=120, n_candidates=12, n_facilities=24,
-            validate_top=1, calibrate_repeats=1,
+            validate_top=1, calibrate_repeats=1, stage_repeats=1,
         )
     else:
         scale = dict(
             n_users=400, n_candidates=40, n_facilities=80,
-            validate_top=2, calibrate_repeats=2,
+            validate_top=2, calibrate_repeats=2, stage_repeats=3,
         )
     if args.users:
         scale["n_users"] = args.users
     if args.candidates:
         scale["n_candidates"] = args.candidates
+    if args.stage_repeats:
+        scale["stage_repeats"] = args.stage_repeats
 
     out = args.out or REPO_ROOT / "BENCH_autotune.json"
     payload = run_autotune_benchmark(out_path=out, **scale)

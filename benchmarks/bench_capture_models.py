@@ -81,7 +81,10 @@ def run_capture_models_benchmark(
     dataset = _population_dataset(n_users, n_candidates, n_facilities)
     pf = paper_default_pf()
     ev = InfluenceEvaluator(pf, tau)
-    omega, f_o = resolve_all_pairs(dataset, ev, batch_verify=True)
+    resolve_timing = repeat_timed(
+        lambda: resolve_all_pairs(dataset, ev, batch_verify=True), repeats
+    )
+    omega, f_o = resolve_timing.result
     table = InfluenceTable.from_mappings(omega, f_o)
     cids = sorted(omega)
 
@@ -154,6 +157,7 @@ def run_capture_models_benchmark(
         "world_seed": world_seed,
         "cpu_count": os.cpu_count(),
         "evenly_split_bit_identical": evenly_split_identical,
+        "resolve": resolve_timing.summary(),
         "models": models_payload,
     }
     if out_path is not None:

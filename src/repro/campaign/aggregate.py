@@ -1,0 +1,158 @@
+"""Aggregation: stored points → the repo's row tables and SVG figures.
+
+The :class:`Aggregator` groups a grid's completed points by the grid's
+``x`` axis, pivots the ``series`` axis (solver or capture model) into
+columns, and reports the **median over repeats** with its min–max
+spread — the same discipline :mod:`repro.bench.timing` enforces on the
+benchmark scripts, now fed by persisted campaign points instead of
+one-shot runs.  Row schemas line up with the ``bench_fig*`` tables:
+a solve grid with ``series="solver"`` produces exactly the
+``{solver}_s`` runtime columns the figure scripts record (plus
+``{solver}_spread`` jitter bands), so
+:func:`repro.bench.svg_charts.save_runtime_figure` renders campaign
+output unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bench.reporting import record_table
+from ..bench.svg_charts import save_runtime_figure
+from ..exceptions import CampaignError
+from .spec import CampaignGrid, CampaignSpec
+from .store import ResultStore
+from .runner import plan_campaign
+
+
+class Aggregator:
+    """Group one campaign's stored points into per-grid row tables."""
+
+    def __init__(self, spec: CampaignSpec, store: ResultStore) -> None:
+        self.spec = spec
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def _grid_records(self, grid: CampaignGrid) -> List[Tuple[Dict, Dict]]:
+        """(point params, stored record) pairs for completed grid points."""
+        out = []
+        for point in grid.points():
+            dataset_hash = self.store.dataset_hash(point.dataset)
+            key = point.key(dataset_hash)
+            if self.store.has(key):
+                out.append((point, self.store.get(key)))
+        return out
+
+    def rows(self, grid: CampaignGrid) -> List[Dict[str, Any]]:
+        """Aggregated rows for one grid (sorted by x; may be partial).
+
+        One row per combination of the grid's non-series axes; the
+        series axis (solver or capture model) pivots into ``*_s`` /
+        ``*_spread`` columns.  Axes with a single declared value are
+        folded out of the row key (they are constants of the grid).
+        """
+        multi_ds = len(grid.datasets) > 1
+        multi_tau = len(grid.taus) > 1 and grid.x != "tau"
+        multi_k = len(grid.ks) > 1 and grid.x != "k"
+        groups: Dict[Any, Dict[str, Any]] = {}
+        selections: Dict[Any, Dict[str, Any]] = {}
+        for point, record in self._grid_records(grid):
+            x_value = record["x"].get(grid.x)
+            if x_value is None:
+                raise CampaignError(
+                    f"grid {grid.name!r} pivots on x={grid.x!r} but record "
+                    f"{record['key'][:12]} carries no such value"
+                )
+            base: Dict[str, Any] = {"dataset": point.dataset.kind}
+            if multi_ds and grid.x not in ("users", "candidates",
+                                           "facilities", "r"):
+                base["dataset"] = point.dataset.label()
+            if multi_tau:
+                base["tau"] = point.tau
+            if multi_k:
+                base["k"] = point.k
+            base[grid.x] = x_value
+            group_key = (x_value,) + tuple(
+                base[c] for c in ("dataset", "tau", "k") if c in base
+            )
+            row = groups.setdefault(
+                group_key, {**base, "repeats": record["timing"]["repeats"]}
+            )
+            series = point.series_value(grid.series)
+            row[f"{series}_s"] = record["timing"]["median_s"]
+            row[f"{series}_spread"] = record["timing"]["spread_s"]
+            row["repeats"] = min(row["repeats"], record["timing"]["repeats"])
+            if grid.workload == "compete":
+                row[f"{series}_erosion"] = record["result"]["erosion"]
+                row[f"{series}_recovered"] = record["result"]["recovered"]
+            elif grid.series == "solver":
+                # All solvers must return one selection per row — the
+                # same agreement check the figure sweeps assert inline.
+                selections.setdefault(group_key, {})[series] = tuple(
+                    record["result"]["selected"]
+                )
+        for group_key, by_series in selections.items():
+            if len(by_series) > 1:
+                agree = len(set(by_series.values())) == 1
+                groups[group_key]["agree"] = "yes" if agree else "NO"
+        return [groups[gk] for gk in sorted(groups)]
+
+    def tables(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Rows for every grid, keyed by grid name."""
+        return {grid.name: self.rows(grid) for grid in self.spec.grids}
+
+    # ------------------------------------------------------------------
+    def completion(self) -> Dict[str, Dict[str, int]]:
+        """Per-grid point completion counts (the `status` payload)."""
+        plan = plan_campaign(self.spec, self.store, resume=True)
+        by_grid: Dict[str, Dict[str, int]] = {
+            g.name: {"total": 0, "complete": 0} for g in self.spec.grids
+        }
+        for task in plan.cached:
+            by_grid[task.grid]["total"] += 1
+            by_grid[task.grid]["complete"] += 1
+        for task in plan.tasks:
+            by_grid[task.grid]["total"] += 1
+        return by_grid
+
+    def missing_keys(self) -> List[Tuple[str, str]]:
+        """(grid, key) for every point not yet in the store."""
+        plan = plan_campaign(self.spec, self.store, resume=True)
+        return [(t.grid, t.key) for t in plan.tasks]
+
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        results_dir: str = "benchmarks/results",
+        svg: bool = True,
+    ) -> Dict[str, str]:
+        """Render every non-empty grid via the bench reporting registry.
+
+        Returns the rendered text tables keyed by grid name; runtime
+        grids with a numeric x additionally get a log-scale SVG next to
+        the row tables (best-effort, like the bench scripts).
+        """
+        rendered: Dict[str, str] = {}
+        for grid in self.spec.grids:
+            rows = self.rows(grid)
+            if not rows:
+                continue
+            title = grid.title or f"Campaign {self.spec.name} - {grid.name}"
+            rendered[grid.name] = record_table(
+                title, rows, results_dir=results_dir
+            )
+            if svg and isinstance(rows[0][grid.x], (int, float)):
+                chart_rows = [
+                    {k: v for k, v in row.items()
+                     if not k.endswith("_spread")}
+                    for row in rows
+                ]
+                try:
+                    save_runtime_figure(
+                        chart_rows, grid.x, title,
+                        f"Campaign_{self.spec.name}_{grid.name}.svg",
+                        results_dir=results_dir,
+                    )
+                except Exception:
+                    pass  # charts are secondary to the row tables
+        return rendered

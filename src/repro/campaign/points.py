@@ -1,0 +1,196 @@
+"""Point execution: one pinned parameter combination, repeats-timed.
+
+:func:`execute_point` is the function campaign workers run.  It builds
+the point's dataset, re-derives the dataset content hash from the data
+it actually built (refusing to proceed under a contradicting key — the
+guard against a stale dataset-hash memo), runs the declared workload
+``repeats`` times, and returns the JSON-ready record the store
+persists.
+
+Records split cleanly into a **deterministic** part (``params``,
+``dataset_hash``, ``x``, ``result``) and a **measured** part
+(``timing``, ``meta``).  The deterministic part is byte-identical
+across runs, hosts and interleavings — the resumability tests compare
+it directly; the timing part follows the repeats/median/spread
+discipline of :mod:`repro.bench.timing`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..bench.timing import TimingSample
+from ..capture import CaptureSpec, best_response_round
+from ..exceptions import CampaignError
+from ..influence import paper_default_pf
+from ..solvers import (
+    AdaptedKCIFPSolver,
+    BaselineGreedySolver,
+    IQTSolver,
+    IQTVariant,
+    MC2LSProblem,
+    Solver,
+)
+from .spec import DatasetAxis, RunPoint
+
+#: Solver factories keyed by campaign solver name; knobs are the two
+#: kernel toggles (results are identical either way — the repo's
+#: bit-identity invariant).
+SOLVER_FACTORIES: Dict[str, Callable[[bool, bool], Solver]] = {
+    "baseline": lambda bv, fs: BaselineGreedySolver(
+        batch_verify=bv, fast_select=fs
+    ),
+    "k-cifp": lambda bv, fs: AdaptedKCIFPSolver(fast_select=fs),
+    "iqt": lambda bv, fs: IQTSolver(
+        variant=IQTVariant.IQT, batch_verify=bv, fast_select=fs
+    ),
+    "iqt-c": lambda bv, fs: IQTSolver(
+        variant=IQTVariant.IQT_C, batch_verify=bv, fast_select=fs
+    ),
+    "iqt-pino": lambda bv, fs: IQTSolver(
+        variant=IQTVariant.IQT_PINO, batch_verify=bv, fast_select=fs
+    ),
+}
+
+
+def build_solver(name: str, batch_verify: bool, fast_select: bool) -> Solver:
+    try:
+        factory = SOLVER_FACTORIES[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown solver {name!r}; one of {sorted(SOLVER_FACTORIES)}"
+        ) from None
+    return factory(batch_verify, fast_select)
+
+
+def _x_values(dataset, point: RunPoint) -> Dict[str, Any]:
+    """Realized axis values the aggregator can pivot on."""
+    x: Dict[str, Any] = {
+        "users": len(dataset.users),
+        "candidates": len(dataset.candidates),
+        "facilities": len(dataset.facilities),
+        "tau": point.tau,
+        "k": point.k,
+    }
+    if point.dataset.r is not None:
+        x["r"] = point.dataset.r
+    return x
+
+
+def _solve_workload(dataset, point: RunPoint, pf) -> tuple[Dict, tuple]:
+    """Resolve+select ``repeats`` times; assert the outcome is stable."""
+    capture_spec = CaptureSpec(**point.capture_params)
+    problem = MC2LSProblem(
+        dataset,
+        k=point.k,
+        tau=point.tau,
+        capture=None if capture_spec.is_default
+        else capture_spec.build(dataset, pf),
+    )
+    solver = build_solver(point.solver, point.batch_verify, point.fast_select)
+    times = []
+    outcome = None
+    for _ in range(point.repeats):
+        result = solver.solve(problem)
+        times.append(result.total_time)
+        snapshot = (result.selected, tuple(result.gains), result.objective)
+        if outcome is None:
+            outcome = (result, snapshot)
+        elif snapshot != outcome[1]:
+            raise CampaignError(
+                f"nondeterministic solve for {point.solver!r}: "
+                f"{snapshot[0]} != {outcome[1][0]}"
+            )
+    result = outcome[0]
+    payload = {
+        "selected": list(result.selected),
+        "gains": list(result.gains),
+        "objective": result.objective,
+        "evaluations": result.evaluation.total_evaluations,
+        "positions_touched": result.evaluation.positions_touched,
+    }
+    return payload, tuple(times)
+
+
+def _compete_workload(dataset, point: RunPoint, pf) -> tuple[Dict, tuple]:
+    """One best-response round per repeat over a shared resolution."""
+    capture_spec = CaptureSpec(**point.capture_params)
+    solver = build_solver(point.solver, point.batch_verify, point.fast_select)
+    resolved = solver.resolve(dataset, point.tau, pf)
+    model = capture_spec.build(dataset, pf)
+    cids = [c.fid for c in dataset.candidates]
+    times = []
+    report = None
+    for _ in range(point.repeats):
+        t0 = time.perf_counter()
+        report = best_response_round(
+            resolved.table,
+            cids,
+            point.k,
+            model,
+            k_rival=point.k_rival,
+            fast=point.fast_select,
+        )
+        times.append(time.perf_counter() - t0)
+    payload = {
+        "leader_initial": list(report.leader_initial),
+        "leader_objective": report.leader_objective,
+        "rival_selected": list(report.rival_selected),
+        "rival_objective": report.rival_objective,
+        "eroded_objective": report.eroded_objective,
+        "erosion": report.erosion,
+        "erosion_fraction": report.erosion_fraction,
+        "leader_adapted": list(report.leader_adapted),
+        "adapted_objective": report.adapted_objective,
+        "recovered": report.recovered,
+    }
+    return payload, tuple(times)
+
+
+def execute_point(
+    grid: str,
+    params: Dict[str, Any],
+    campaign: str = "",
+    expected_key: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one point and return its store record.
+
+    When ``expected_key`` is given, the key re-derived from the built
+    dataset's content hash must match it — a mismatch means the store's
+    dataset-hash memo has gone stale against the generator (or the
+    population-scale env vars changed) and the record must not be
+    stored under the old key.
+    """
+    point = RunPoint.from_params(grid, params)
+    dataset = point.dataset.build()
+    from ..service import dataset_content_hash
+
+    dataset_hash = dataset_content_hash(dataset)
+    key = point.key(dataset_hash)
+    if expected_key is not None and key != expected_key:
+        raise CampaignError(
+            f"point key mismatch for grid {grid!r}: expected {expected_key}, "
+            f"realized {key} — the dataset generated now differs from the "
+            "one the campaign was planned against (stale dataset-hash memo "
+            "or changed population scale); run `campaign clean`"
+        )
+    pf = paper_default_pf()
+    if point.workload == "compete":
+        result, times = _compete_workload(dataset, point, pf)
+    else:
+        result, times = _solve_workload(dataset, point, pf)
+    timing = TimingSample(times, None).summary()
+    return {
+        "schema": 1,
+        "key": key,
+        "campaign": campaign,
+        "grid": grid,
+        "params": point.params(),
+        "dataset_hash": dataset_hash,
+        "x": _x_values(dataset, point),
+        "result": result,
+        "timing": timing,
+        "meta": {"completed_at": time.time(), "pid": os.getpid()},
+    }

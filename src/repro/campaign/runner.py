@@ -1,0 +1,358 @@
+"""Campaign execution: plan the missing points, fan them out, persist.
+
+The runner turns a :class:`~repro.campaign.CampaignSpec` plus a
+:class:`~repro.campaign.ResultStore` into a completed campaign:
+
+1. **Plan** — every grid point is expanded and keyed (dataset content
+   hash + canonical run params); keys already present in the store are
+   *cached* and never re-executed.  This is what makes re-runs after an
+   edit, a kill or a grid extension incremental: the plan is recomputed
+   from scratch every run, the store decides what is left.
+2. **Execute** — missing points run inline (``workers=0``) or across a
+   pool of persistent worker processes (``workers>=1``), each point
+   isolated: a worker crash or a per-point timeout kills and respawns
+   only that worker, logs the failure, and the run continues.  Workers
+   write records into the store themselves (atomic rename), so a
+   SIGKILL of the whole process group can never lose a completed point
+   or persist a partial one.
+
+Worker protocol: one duplex pipe per worker; the parent sends one task
+dict at a time and multiplexes completions with
+:func:`multiprocessing.connection.wait`, enforcing per-point deadlines
+against its own clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as conn_wait
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import CampaignError
+from .points import execute_point
+from .spec import CampaignSpec
+from .store import ResultStore
+
+ProgressFn = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One planned unit of work, fully serialisable to a worker."""
+
+    key: str
+    grid: str
+    params: Dict[str, Any]
+    campaign: str
+    timeout_s: Optional[float] = None
+
+    def as_message(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "grid": self.grid,
+            "params": self.params,
+            "campaign": self.campaign,
+        }
+
+
+@dataclass
+class CampaignPlan:
+    """The run's work split: what is cached, what still needs executing."""
+
+    tasks: List[PointTask]
+    cached: List[PointTask]
+
+    @property
+    def total(self) -> int:
+        return len(self.tasks) + len(self.cached)
+
+
+@dataclass
+class RunReport:
+    """What one ``run`` invocation did."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: List[Tuple[str, str, str]] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": [
+                {"key": k, "grid": g, "reason": r} for k, g, r in self.failed
+            ],
+            "wall_s": self.wall_s,
+        }
+
+
+def plan_campaign(
+    spec: CampaignSpec, store: ResultStore, resume: bool = True
+) -> CampaignPlan:
+    """Expand the spec into keyed tasks, split by store completion.
+
+    With ``resume=False`` every point is planned for execution (stored
+    records are overwritten when the fresh results land).
+    """
+    tasks: List[PointTask] = []
+    cached: List[PointTask] = []
+    for grid, point in spec.points():
+        dataset_hash = store.dataset_hash(point.dataset)
+        task = PointTask(
+            key=point.key(dataset_hash),
+            grid=grid.name,
+            params=point.params(),
+            campaign=spec.name,
+            timeout_s=grid.timeout_s,
+        )
+        if resume and store.has(task.key):
+            cached.append(task)
+        else:
+            tasks.append(task)
+    return CampaignPlan(tasks=tasks, cached=cached)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn, store_root: str) -> None:  # pragma: no cover - subprocess
+    """Worker loop: receive a task, execute, persist, acknowledge."""
+    store = ResultStore(store_root)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        key = message["key"]
+        try:
+            record = execute_point(
+                message["grid"],
+                message["params"],
+                campaign=message["campaign"],
+                expected_key=key,
+            )
+            store.put(record)
+            reply = ("ok", key)
+        except BaseException as exc:  # crash isolation: report, keep serving
+            reply = ("error", key, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    def __init__(self, ctx, store_root: str) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, store_root),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.task: Optional[PointTask] = None
+        self.started: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def assign(self, task: PointTask) -> None:
+        self.task = task
+        self.started = time.perf_counter()
+        self.conn.send(task.as_message())
+
+    def timed_out(self) -> bool:
+        return (
+            self.task is not None
+            and self.task.timeout_s is not None
+            and time.perf_counter() - self.started > self.task.timeout_s
+        )
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):  # pragma: no cover - defensive
+            pass
+        self.proc.join(timeout=5)
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown of an idle worker."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.proc.kill()
+            self.proc.join(timeout=5)
+        self.conn.close()
+
+
+class CampaignRunner:
+    """Drive one campaign against one store.
+
+    Args:
+        spec: The campaign to execute.
+        store: Result store (one campaign per root).
+        workers: ``0`` runs points inline in this process (no crash
+            isolation — test/smoke mode); ``>= 1`` uses that many
+            persistent worker processes.
+        timeout_s: Per-point timeout overriding every grid's own.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        if workers < 0:
+            raise CampaignError(f"workers must be >= 0, got {workers}")
+        self.spec = spec
+        self.store = store
+        self.workers = workers
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = True, progress: ProgressFn = None) -> RunReport:
+        """Execute the campaign; return what was done.
+
+        ``resume=True`` (the default everywhere) executes only points
+        missing from the store; ``resume=False`` re-executes everything.
+        """
+        t0 = time.perf_counter()
+        say = progress or (lambda _msg: None)
+        plan = plan_campaign(self.spec, self.store, resume=resume)
+        self.store.save_spec(self.spec.as_dict())
+        report = RunReport(total=plan.total, cached=len(plan.cached))
+        tasks = list(plan.tasks)
+        if self.timeout_s is not None:
+            tasks = [
+                PointTask(
+                    key=t.key, grid=t.grid, params=t.params,
+                    campaign=t.campaign, timeout_s=self.timeout_s,
+                )
+                for t in tasks
+            ]
+        say(f"campaign {self.spec.name!r}: {len(tasks)} to run, "
+            f"{len(plan.cached)} cached")
+        if not tasks:
+            report.wall_s = time.perf_counter() - t0
+            return report
+        if self.workers == 0:
+            self._run_inline(tasks, report, say)
+        else:
+            self._run_pool(tasks, report, say)
+        report.wall_s = time.perf_counter() - t0
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self, tasks: List[PointTask], report: RunReport, say: Callable[[str], None]
+    ) -> None:
+        for i, task in enumerate(tasks, 1):
+            try:
+                record = execute_point(
+                    task.grid, task.params,
+                    campaign=task.campaign, expected_key=task.key,
+                )
+                self.store.put(record)
+                report.executed += 1
+                say(f"[{i}/{len(tasks)}] {task.grid} {task.key[:12]} ok")
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                report.failed.append((task.key, task.grid, reason))
+                self.store.log_failure(task.key, task.grid, reason)
+                say(f"[{i}/{len(tasks)}] {task.grid} {task.key[:12]} "
+                    f"FAILED: {reason}")
+
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, tasks: List[PointTask], report: RunReport, say: Callable[[str], None]
+    ) -> None:
+        ctx = multiprocessing.get_context()
+        pending = list(reversed(tasks))  # pop() serves declaration order
+        n_workers = min(self.workers, len(tasks))
+        pool: List[_Worker] = [
+            _Worker(ctx, str(self.store.root)) for _ in range(n_workers)
+        ]
+        done = 0
+        total = len(tasks)
+
+        def fail(task: PointTask, reason: str) -> None:
+            nonlocal done
+            done += 1
+            report.failed.append((task.key, task.grid, reason))
+            self.store.log_failure(task.key, task.grid, reason)
+            say(f"[{done}/{total}] {task.grid} {task.key[:12]} "
+                f"FAILED: {reason}")
+
+        try:
+            while done < total:
+                for worker in list(pool):
+                    if not worker.busy and pending:
+                        task = pending.pop()
+                        try:
+                            worker.assign(task)
+                        except (BrokenPipeError, OSError):
+                            # Worker died between points: respawn, requeue.
+                            pending.append(task)
+                            worker.task = None
+                            worker.kill()
+                            pool.remove(worker)
+                            pool.append(_Worker(ctx, str(self.store.root)))
+                busy = [w for w in pool if w.busy]
+                if not busy:
+                    break  # nothing in flight and nothing assignable
+                ready = conn_wait([w.conn for w in busy], timeout=0.2)
+                for worker in list(pool):
+                    if worker.conn not in ready:
+                        continue
+                    task = worker.task
+                    try:
+                        reply = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-point: isolate and respawn.
+                        fail(task, "worker process died")
+                        worker.kill()
+                        pool.remove(worker)
+                        if pending:
+                            pool.append(_Worker(ctx, str(self.store.root)))
+                        continue
+                    worker.task = None
+                    if reply[0] == "ok":
+                        done += 1
+                        report.executed += 1
+                        say(f"[{done}/{total}] {task.grid} "
+                            f"{task.key[:12]} ok")
+                    else:
+                        fail(task, reply[2])
+                for worker in list(pool):
+                    if worker.timed_out():
+                        fail(worker.task, f"timeout after {worker.task.timeout_s}s")
+                        worker.kill()
+                        pool.remove(worker)
+                        pool.append(_Worker(ctx, str(self.store.root)))
+        finally:
+            for worker in pool:
+                if worker.busy:
+                    worker.kill()
+                else:
+                    worker.stop()

@@ -1,0 +1,153 @@
+"""Shipped campaign specs: the repo's standing experiment protocols.
+
+Three campaigns ship with the repo:
+
+* ``fig-runtime-sweep`` — the paper's Fig. 10–16 runtime sweeps (vary
+  users / candidates / facilities / τ / k / r on both dataset kinds,
+  all four algorithms), expressed as one declarative campaign.  Point
+  for point it matches the ``bench_fig10``–``bench_fig16`` protocols —
+  same cached populations, same subsampling seeds, same solver set —
+  but each point carries ``repeats >= 3`` with median/spread instead of
+  the scripts' single samples, and re-runs are incremental.
+* ``capture-duel`` — the two-player best-response round under every
+  registered capture model as k grows (the ``compete`` protocol from
+  PR 8, now with repeats and resumability).
+* ``smoke`` — a 2×2 (τ × k) grid on a tiny population; the CI job runs
+  it twice and asserts the second pass is 100% cache hits.
+
+Use :func:`get_spec` to resolve a name (the CLI accepts these names or
+a path to a spec JSON).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..bench.datasets import K_SWEEP, R_SWEEP, SIZE_SWEEP, TAU_SWEEP
+from ..exceptions import CampaignError
+from .spec import CampaignSpec, DatasetAxis, grid
+
+#: The four algorithms every runtime figure compares (Figs. 10–16).
+FIG_SOLVERS: Tuple[str, ...] = ("baseline", "k-cifp", "iqt-c", "iqt")
+
+#: User-count fractions of the Fig. 10 protocol.
+USER_FRACTIONS: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def fig_runtime_sweep_spec(repeats: int = 3) -> CampaignSpec:
+    """Figs. 10–16 as one campaign (both dataset kinds, 4 solvers)."""
+    grids = []
+    for kind in ("C", "N"):
+        grids.append(grid(
+            f"fig10-{kind}",
+            [DatasetAxis(kind=kind, users_frac=f) for f in USER_FRACTIONS],
+            solvers=FIG_SOLVERS, x="users", repeats=repeats,
+            title=f"Fig 10 - runtime vs users ({kind}-like, campaign)",
+        ))
+        grids.append(grid(
+            f"fig11-{kind}",
+            [DatasetAxis(kind=kind, n_candidates=n) for n in SIZE_SWEEP],
+            solvers=FIG_SOLVERS, x="candidates", repeats=repeats,
+            title=f"Fig 11 - runtime vs candidates ({kind}-like, campaign)",
+        ))
+        grids.append(grid(
+            f"fig12-{kind}",
+            [DatasetAxis(kind=kind, n_facilities=n) for n in SIZE_SWEEP],
+            solvers=FIG_SOLVERS, x="facilities", repeats=repeats,
+            title=f"Fig 12 - runtime vs facilities ({kind}-like, campaign)",
+        ))
+        grids.append(grid(
+            f"fig13-{kind}",
+            [DatasetAxis(kind=kind)],
+            solvers=FIG_SOLVERS, taus=TAU_SWEEP, x="tau", repeats=repeats,
+            title=f"Fig 13 - runtime vs tau ({kind}-like, campaign)",
+        ))
+        grids.append(grid(
+            f"fig14-{kind}",
+            [DatasetAxis(kind=kind)],
+            solvers=FIG_SOLVERS, ks=K_SWEEP, x="k", repeats=repeats,
+            title=f"Fig 14 - runtime vs k ({kind}-like, campaign)",
+        ))
+    grids.append(grid(
+        "fig15-C",
+        [DatasetAxis(kind="C", r=r) for r in R_SWEEP],
+        solvers=FIG_SOLVERS, x="r", repeats=repeats,
+        title="Fig 15 - runtime vs r (C-like, campaign)",
+    ))
+    grids.append(grid(
+        "fig16-N",
+        [DatasetAxis(kind="N", r=r) for r in R_SWEEP],
+        solvers=FIG_SOLVERS, x="r", repeats=repeats,
+        title="Fig 16 - runtime vs r (N-like, campaign)",
+    ))
+    return CampaignSpec(
+        name="fig-runtime-sweep",
+        grids=tuple(grids),
+        description="Paper Figs. 10-16 runtime sweeps with repeats/spread",
+    )
+
+
+def capture_duel_spec(repeats: int = 3) -> CampaignSpec:
+    """Best-response duel across every registered capture model."""
+    captures = (
+        {"model": "evenly-split"},
+        {"model": "huff", "huff_utility": 0.5},
+        {"model": "mnl", "mnl_beta": 2.0},
+        {"model": "fixed-worlds", "mnl_beta": 2.0, "worlds": 16,
+         "world_seed": 0},
+    )
+    duel = grid(
+        "duel-C",
+        [DatasetAxis(kind="C", users_frac=0.4)],
+        captures=captures,
+        solvers=("iqt",),
+        ks=(3, 5, 8),
+        workload="compete",
+        x="k",
+        series="capture",
+        repeats=repeats,
+        title="Capture duel - erosion and round time vs k (C-like)",
+    )
+    return CampaignSpec(
+        name="capture-duel",
+        grids=(duel,),
+        description="Two-player best-response round per capture model",
+    )
+
+
+def smoke_spec(repeats: int = 2) -> CampaignSpec:
+    """A 2×2 (τ × k) grid on a tiny population — seconds, not minutes."""
+    tiny = grid(
+        "smoke-2x2",
+        [DatasetAxis(kind="C", users_frac=0.05, n_candidates=12,
+                     n_facilities=24)],
+        solvers=("iqt",),
+        taus=(0.6, 0.7),
+        ks=(2, 3),
+        x="k",
+        repeats=repeats,
+        title="Campaign smoke - 2x2 grid",
+    )
+    return CampaignSpec(
+        name="smoke",
+        grids=(tiny,),
+        description="Tiny 2x2 grid for CI cache-hit verification",
+    )
+
+
+SHIPPED_SPECS: Dict[str, Callable[[], CampaignSpec]] = {
+    "fig-runtime-sweep": fig_runtime_sweep_spec,
+    "capture-duel": capture_duel_spec,
+    "smoke": smoke_spec,
+}
+
+
+def get_spec(name: str) -> CampaignSpec:
+    """Resolve a shipped campaign spec by name."""
+    try:
+        return SHIPPED_SPECS[name]()
+    except KeyError:
+        raise CampaignError(
+            f"unknown campaign {name!r}; shipped campaigns: "
+            + ", ".join(sorted(SHIPPED_SPECS))
+        ) from None

@@ -446,6 +446,135 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_spec(name_or_path: str):
+    from .campaign import CampaignSpec, get_spec
+
+    if name_or_path.endswith(".json"):
+        return CampaignSpec.from_json(name_or_path)
+    return get_spec(name_or_path)
+
+
+def _campaign_store(args: argparse.Namespace, spec):
+    from pathlib import Path
+
+    from .campaign import ResultStore
+
+    return ResultStore(Path(args.store) / spec.name)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import CampaignRunner
+
+    spec = _campaign_spec(args.spec)
+    store = _campaign_store(args, spec)
+    runner = CampaignRunner(
+        spec, store, workers=args.workers, timeout_s=args.timeout
+    )
+    report = runner.run(resume=not args.no_resume, progress=print)
+    print(f"\ncampaign {spec.name!r}: {report.executed} executed, "
+          f"{report.cached} cached, {len(report.failed)} failed "
+          f"of {report.total} points in {report.wall_s:.1f}s "
+          f"(store: {store.root})")
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import Aggregator
+
+    spec = _campaign_spec(args.spec)
+    store = _campaign_store(args, spec)
+    agg = Aggregator(spec, store)
+    completion = agg.completion()
+    rows = []
+    for grid in spec.grids:
+        counts = completion[grid.name]
+        rows.append({
+            "grid": grid.name,
+            "points": counts["total"],
+            "complete": counts["complete"],
+            "missing": counts["total"] - counts["complete"],
+            "pct": (counts["complete"] / counts["total"] * 100.0
+                    if counts["total"] else 100.0),
+        })
+    total = sum(r["points"] for r in rows)
+    complete = sum(r["complete"] for r in rows)
+    print(f"campaign {spec.name!r} at {store.root}:")
+    print(format_table(rows))
+    print(f"\n{complete}/{total} points complete")
+    if args.list_missing:
+        for grid_name, key in agg.missing_keys():
+            print(f"missing  {grid_name}  {key}")
+    return 0 if complete == total else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .campaign import Aggregator
+
+    spec = _campaign_spec(args.spec)
+    store = _campaign_store(args, spec)
+    rendered = Aggregator(spec, store).report(
+        results_dir=args.results_dir, svg=not args.no_svg
+    )
+    if not rendered:
+        print("no completed points to report; run `campaign run` first",
+              file=sys.stderr)
+        return 1
+    for grid_name, table in rendered.items():
+        print(f"\n== {grid_name} ==")
+        print(table)
+    print(f"\nwrote {len(rendered)} table(s) to {args.results_dir}")
+    return 0
+
+
+def _cmd_campaign_clean(args: argparse.Namespace) -> int:
+    spec = _campaign_spec(args.spec)
+    store = _campaign_store(args, spec)
+    dropped = store.clean()
+    print(f"dropped {dropped} stored point(s) from {store.root}")
+    return 0
+
+
+def _cmd_campaign_smoke(args: argparse.Namespace) -> int:
+    """Run the smoke grid twice; the second pass must be pure cache."""
+    import tempfile
+    from pathlib import Path
+
+    from .campaign import CampaignRunner, ResultStore, smoke_spec
+
+    spec = smoke_spec()
+    if args.store:
+        root = Path(args.store) / spec.name
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-campaign-smoke-")
+        root = Path(cleanup.name) / spec.name
+    try:
+        store = ResultStore(root)
+        store.clean()
+        first = CampaignRunner(spec, store, workers=args.workers).run(
+            progress=print
+        )
+        second = CampaignRunner(spec, store, workers=args.workers).run(
+            progress=print
+        )
+        print(f"first pass: {first.executed} executed / {first.total} points; "
+              f"second pass: {second.cached} cached, "
+              f"{second.executed} executed")
+        if not first.ok or first.executed != first.total:
+            print("ERROR: first smoke pass did not execute every point",
+                  file=sys.stderr)
+            return 1
+        if second.executed != 0 or second.cached != first.total:
+            print("ERROR: second smoke pass was not 100% cache hits",
+                  file=sys.stderr)
+            return 1
+        print("campaign smoke ok: second pass was 100% cache hits")
+        return 0
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     print(format_table([compute_stats(dataset).as_row()]))
@@ -582,6 +711,67 @@ def build_parser() -> argparse.ArgumentParser:
                       help="timing repeats per cost-model calibration point "
                            "(default: 2)")
     tune.set_defaults(func=_cmd_tune)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative grid sweeps: memoized, resumable experiment runs")
+    campaign_sub = campaign.add_subparsers(dest="action", required=True)
+
+    def _campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", default="smoke", metavar="NAME|FILE",
+                       help="shipped campaign name (fig-runtime-sweep, "
+                            "capture-duel, smoke) or a spec JSON path "
+                            "(default: smoke)")
+        p.add_argument("--store", default="campaigns", metavar="DIR",
+                       help="store root; points live under "
+                            "DIR/<campaign-name>/ (default: campaigns)")
+
+    c_run = campaign_sub.add_parser(
+        "run", help="execute every point missing from the store")
+    _campaign_common(c_run)
+    c_run.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="worker processes; 0 runs points inline "
+                            "(default: 0)")
+    c_run.add_argument("--no-resume", action="store_true",
+                       help="re-execute every point, overwriting stored "
+                            "records (resume is the default)")
+    c_run.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-point timeout in seconds (workers >= 1 "
+                            "only); overrides grid timeouts")
+    c_run.set_defaults(func=_cmd_campaign_run)
+
+    c_status = campaign_sub.add_parser(
+        "status", help="per-grid completion counts (exit 1 if incomplete)")
+    _campaign_common(c_status)
+    c_status.add_argument("--list-missing", action="store_true",
+                          help="also print every missing point key")
+    c_status.set_defaults(func=_cmd_campaign_status)
+
+    c_report = campaign_sub.add_parser(
+        "report", help="aggregate stored points into row tables + SVGs")
+    _campaign_common(c_report)
+    c_report.add_argument("--results-dir", default="benchmarks/results",
+                          metavar="DIR",
+                          help="where tables/figures land "
+                               "(default: benchmarks/results)")
+    c_report.add_argument("--no-svg", action="store_true",
+                          help="skip SVG chart rendering")
+    c_report.set_defaults(func=_cmd_campaign_report)
+
+    c_clean = campaign_sub.add_parser(
+        "clean", help="drop every stored point for the campaign")
+    _campaign_common(c_clean)
+    c_clean.set_defaults(func=_cmd_campaign_clean)
+
+    c_smoke = campaign_sub.add_parser(
+        "smoke",
+        help="CI check: run the tiny smoke grid twice, assert the second "
+             "pass is 100%% cache hits")
+    c_smoke.add_argument("--store", default=None, metavar="DIR",
+                         help="persist the smoke store here instead of a "
+                              "temporary directory")
+    c_smoke.add_argument("--workers", type=int, default=0, metavar="N")
+    c_smoke.set_defaults(func=_cmd_campaign_smoke)
 
     stats = sub.add_parser("stats", help="dataset distribution statistics")
     _add_dataset_args(stats)

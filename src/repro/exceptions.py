@@ -71,6 +71,16 @@ class TuningError(ServiceError):
     """
 
 
+class CampaignError(ReproError):
+    """Raised by the campaign runner (:mod:`repro.campaign`).
+
+    Covers malformed campaign specs (unknown solvers, capture models or
+    axis names), result-store records whose realized dataset content
+    hash contradicts their key, and driving a runner against a store
+    that belongs to a different campaign.
+    """
+
+
 class ShardError(ServiceError):
     """Raised when the sharded execution layer fails mid-flight.
 

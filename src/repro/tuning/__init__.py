@@ -37,10 +37,11 @@ from .trace import (
     WorkloadTrace,
     build_dataset,
 )
-from .tuner import KnobTuner, TuningRecommendation
+from .tuner import DEFAULT_SEARCH_SPACE, KnobTuner, TuningRecommendation, default_search_space
 
 __all__ = [
     "CANNED_WORKLOADS",
+    "DEFAULT_SEARCH_SPACE",
     "CostModel",
     "EngineConfig",
     "KnobTuner",
@@ -52,6 +53,7 @@ __all__ = [
     "TuningRecommendation",
     "WorkloadTrace",
     "build_dataset",
+    "default_search_space",
     "jitter_users",
     "record_canned",
 ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -91,11 +91,24 @@ class CostModel:
 
     ``resolve_coeff`` / ``select_coeff`` map the kernel knob (``True``
     for the vectorized kernel) to ``(c0, c1)`` of the affine fit.
+    ``capture_select_coeff`` maps a set-aware capture model name
+    (``"mnl"``, ``"fixed-worlds"``) to its own ``(c0, c1)`` — those
+    selections run the CELF loop (:func:`repro.capture.capture_select`)
+    instead of the CSR kernel, so pricing them with the kernel
+    coefficients underestimates badly.  Empty on models loaded from old
+    serialisations; :meth:`select_seconds` then falls back to the
+    kernel fit.  ``calibrated_worlds`` records the fixed-worlds world
+    count the coefficient was measured at, so predictions scale
+    linearly to other world counts.
     """
 
     resolve_coeff: Dict[bool, Tuple[float, float]]
     select_coeff: Dict[bool, Tuple[float, float]]
     hit_seconds: float
+    capture_select_coeff: Dict[str, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    calibrated_worlds: int = 8
 
     # ------------------------------------------------------------------
     def resolve_seconds(
@@ -110,8 +123,18 @@ class CostModel:
         k: int,
         fast_select: bool = True,
         worlds_factor: float = 1.0,
+        capture_model: Optional[str] = None,
     ) -> float:
-        c0, c1 = self.select_coeff[bool(fast_select)]
+        """One greedy selection, priced by the path the engine would take.
+
+        Set-aware capture models with a calibrated coefficient use their
+        own CELF fit; everything else (and models from old
+        serialisations) uses the CSR-kernel fit for ``fast_select``.
+        """
+        if capture_model is not None and capture_model in self.capture_select_coeff:
+            c0, c1 = self.capture_select_coeff[capture_model]
+        else:
+            c0, c1 = self.select_coeff[bool(fast_select)]
         return (c0 + c1 * k * features["n_users"]) * max(worlds_factor, 0.0)
 
     # ------------------------------------------------------------------
@@ -171,11 +194,19 @@ class CostModel:
                 else bool(spec.get("fast_select", True))
             )
             capture = spec.get("capture") or {}
+            capture_model = capture.get("model", "evenly-split")
             worlds_factor = 1.0
-            if capture.get("model") == "fixed-worlds":
+            if capture_model == "fixed-worlds":
                 recorded = max(int(capture.get("worlds", 32)), 1)
                 effective = config.worlds if config.worlds is not None else recorded
-                worlds_factor = max(effective, 1) / recorded
+                if "fixed-worlds" in self.capture_select_coeff:
+                    # The capture fit was measured at calibrated_worlds
+                    # worlds; cost is linear in the world count.
+                    worlds_factor = max(effective, 1) / max(
+                        self.calibrated_worlds, 1
+                    )
+                else:
+                    worlds_factor = max(effective, 1) / recorded
             base = (
                 generation,
                 spec.get("solver", "iqt"),
@@ -194,7 +225,8 @@ class CostModel:
                 total += self.hit_seconds
                 continue
             cost = self.select_seconds(
-                features, k, fast_select, worlds_factor=worlds_factor
+                features, k, fast_select,
+                worlds_factor=worlds_factor, capture_model=capture_model,
             )
             if use_cache and base in prepared_lru:
                 prepared_lru.move_to_end(base)
@@ -230,10 +262,18 @@ class CostModel:
                 str(knob).lower(): list(c) for knob, c in self.select_coeff.items()
             },
             "hit_seconds": self.hit_seconds,
+            "capture_select_coeff": {
+                model: list(c)
+                for model, c in sorted(self.capture_select_coeff.items())
+            },
+            "calibrated_worlds": self.calibrated_worlds,
         }
 
     @classmethod
     def from_dict(cls, spec: Dict[str, Any]) -> "CostModel":
+        """Rebuild from :meth:`as_dict` output (old dumps lack the
+        capture coefficients — they load with an empty mapping and fall
+        back to the kernel fit)."""
         def knobbed(d: Dict[str, Any]) -> Dict[bool, Tuple[float, float]]:
             return {k == "true": (float(v[0]), float(v[1])) for k, v in d.items()}
 
@@ -241,6 +281,11 @@ class CostModel:
             resolve_coeff=knobbed(spec["resolve_coeff"]),
             select_coeff=knobbed(spec["select_coeff"]),
             hit_seconds=float(spec["hit_seconds"]),
+            capture_select_coeff={
+                model: (float(c[0]), float(c[1]))
+                for model, c in spec.get("capture_select_coeff", {}).items()
+            },
+            calibrated_worlds=int(spec.get("calibrated_worlds", 8)),
         )
 
     # ------------------------------------------------------------------
@@ -252,22 +297,38 @@ class CostModel:
         k: int = 4,
         repeats: int = 2,
         seed: int = 0,
+        calibrate_worlds: int = 8,
     ) -> "CostModel":
         """Fit the machine-local coefficients from a short measured run.
 
         ``scales`` is a ladder of ``(n_users, n_candidates)`` synthetic
         populations; each is resolved under both verification kernels
         and selected under both greedy kernels, best-of-``repeats``
-        timed, and the affine coefficients least-squares fitted.
+        timed, and the affine coefficients least-squares fitted.  The
+        set-aware capture models (MNL and fixed-worlds at
+        ``calibrate_worlds`` worlds) get their own CELF-path select
+        fits from the same ladder.
         """
         if repeats < 1:
             raise TuningError(f"repeats must be >= 1, got {repeats}")
+        from ..capture import CaptureSpec, capture_select
+
         pf = paper_default_pf()
         resolve_samples: Dict[bool, Tuple[list, list]] = {
             True: ([], []), False: ([], [])
         }
         select_samples: Dict[bool, Tuple[list, list]] = {
             True: ([], []), False: ([], [])
+        }
+        capture_specs = {
+            "mnl": CaptureSpec(model="mnl", mnl_beta=2.0),
+            "fixed-worlds": CaptureSpec(
+                model="fixed-worlds", mnl_beta=2.0,
+                worlds=calibrate_worlds, world_seed=seed,
+            ),
+        }
+        capture_samples: Dict[str, Tuple[list, list]] = {
+            name: ([], []) for name in capture_specs
         }
         hit_times = []
         for n_users, n_candidates in scales:
@@ -301,6 +362,21 @@ class CostModel:
                 xs, ys = select_samples[fast_select]
                 xs.append(k * features["n_users"])
                 ys.append(best)
+            resolved = IQTSolver().resolve(dataset, tau, pf)
+            cids = [c.fid for c in dataset.candidates]
+            for name, cspec in capture_specs.items():
+                model = cspec.build(dataset, pf)
+                best = min(
+                    _timed(
+                        lambda m=model: capture_select(
+                            resolved.table, cids, k, m
+                        )
+                    )
+                    for _ in range(repeats)
+                )
+                xs, ys = capture_samples[name]
+                xs.append(k * features["n_users"])
+                ys.append(best)
             hit_times.append(_hit_seconds(dataset, tau, k))
         return cls(
             resolve_coeff={
@@ -312,6 +388,11 @@ class CostModel:
                 for knob, (xs, ys) in select_samples.items()
             },
             hit_seconds=float(np.median(hit_times)),
+            capture_select_coeff={
+                name: _fit_affine(xs, ys)
+                for name, (xs, ys) in capture_samples.items()
+            },
+            calibrated_worlds=calibrate_worlds,
         )
 
 

@@ -24,6 +24,7 @@ subcommand emits (see ``docs/API.md``).
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -42,6 +43,21 @@ DEFAULT_SEARCH_SPACE: Dict[str, Tuple[Any, ...]] = {
     "batch_verify": (None, True, False),
     "fast_select": (None, True, False),
 }
+
+
+def default_search_space() -> Dict[str, Tuple[Any, ...]]:
+    """The default knob grid for the machine the tuner runs on.
+
+    On multi-core machines the grid additionally searches
+    ``shard_workers`` (``0`` keeps the in-process path; ``>= 2`` runs
+    the sharded executor, results bit-identical).  Single-core machines
+    exclude the knob — sharding there only adds process overhead, and
+    every candidate would waste a replay slot confirming it.
+    """
+    space = dict(DEFAULT_SEARCH_SPACE)
+    if (os.cpu_count() or 1) > 1:
+        space["shard_workers"] = (0, 2, 4)
+    return space
 
 
 @dataclass(frozen=True)
@@ -108,7 +124,7 @@ class KnobTuner:
     ) -> None:
         self.trace = trace
         self.cost_model = cost_model or CostModel.calibrate(repeats=1)
-        space = dict(DEFAULT_SEARCH_SPACE)
+        space = default_search_space()
         if search_space:
             space.update({k: tuple(v) for k, v in search_space.items()})
         if tune_worlds and self._recorded_worlds():
@@ -125,10 +141,18 @@ class KnobTuner:
 
     # ------------------------------------------------------------------
     def candidates(self) -> Iterable[EngineConfig]:
-        """The knob grid as configs (defaults fill unsearched knobs)."""
+        """The knob grid as configs (defaults fill unsearched knobs).
+
+        ``shard_workers >= 2`` implies the sharded executor; lower
+        values keep the in-process path (matching the engine's own
+        fallback), so the grid never emits an inconsistent pair.
+        """
         keys = sorted(self.search_space)
         for values in itertools.product(*(self.search_space[k] for k in keys)):
-            yield EngineConfig(**dict(zip(keys, values)))
+            knobs = dict(zip(keys, values))
+            if knobs.get("shard_workers", 0) >= 2:
+                knobs["execution"] = "sharded"
+            yield EngineConfig(**knobs)
 
     def tune(
         self,

@@ -44,6 +44,12 @@ def test_smoke_records_trajectory_point(tmp_path):
     assert payload["replay_deterministic"] is True
     assert payload["replay_exact"] is True
     assert payload["tuned_beats_baseline"] is True
+    # Stage timings follow the repeats/median/spread discipline.
+    assert set(payload["stages"]) == {"record", "calibrate", "tune"}
+    for name, stage in payload["stages"].items():
+        assert stage["repeats"] == payload["stage_repeats"]
+        assert stage["spread_s"] >= 0.0
+        assert payload[f"{name}_s"] == stage["median_s"]
 
 
 def test_committed_trajectory_point_is_full_scale():
@@ -58,3 +64,11 @@ def test_committed_trajectory_point_is_full_scale():
     assert payload["tuned_beats_baseline"] is True
     assert payload["tuned_p50_s"] < payload["baseline_p50_s"]
     assert payload["speedup_p50"] > 1.0
+    # Full scale runs every stage >= 3 times (median/spread discipline)
+    # and calibrates CELF-path fits for the set-aware capture models.
+    assert payload["stage_repeats"] >= 3
+    for stage in payload["stages"].values():
+        assert stage["repeats"] >= 3
+        assert stage["median_s"] > 0.0
+    capture_coeff = payload["cost_model"]["capture_select_coeff"]
+    assert set(capture_coeff) == {"mnl", "fixed-worlds"}

@@ -52,6 +52,8 @@ def test_smoke_records_trajectory_point(tmp_path):
         assert record["select"]["repeats"] >= 2
         assert len(record["selected"]) == payload["k"]
         assert record["objective"] >= 0.0
+    assert payload["resolve"]["repeats"] >= 2
+    assert payload["resolve"]["median_s"] > 0.0
 
 
 def test_committed_trajectory_point_is_full_scale():
@@ -64,3 +66,7 @@ def test_committed_trajectory_point_is_full_scale():
     }
     for record in payload["models"].values():
         assert record["select"]["repeats"] >= 2
+    # The resolve stage is repeat-timed like the selections.
+    assert payload["resolve"]["repeats"] >= 2
+    assert payload["resolve"]["spread_s"] >= 0.0
+    assert payload["resolve"]["median_s"] > 0.0

@@ -1,0 +1,108 @@
+"""Aggregation: stored points → bench-style row tables and reports."""
+
+import pytest
+
+from repro.campaign import (
+    Aggregator,
+    CampaignRunner,
+    CampaignSpec,
+    DatasetAxis,
+    ResultStore,
+    grid,
+)
+
+TINY = DatasetAxis(kind="C", users_frac=0.05, n_candidates=8,
+                   n_facilities=16)
+
+
+def _solver_spec():
+    g = grid("g1", [TINY], solvers=("iqt", "iqt-c"), taus=(0.6, 0.7),
+             ks=(2,), x="tau", repeats=2, title="Tiny tau sweep")
+    return CampaignSpec(name="agg", grids=(g,))
+
+
+@pytest.fixture(scope="module")
+def completed(tmp_path_factory):
+    """One executed campaign shared by the read-only aggregation tests."""
+    store = ResultStore(tmp_path_factory.mktemp("agg") / "store")
+    spec = _solver_spec()
+    CampaignRunner(spec, store).run()
+    return spec, store
+
+
+class TestRows:
+    def test_series_pivot_and_grouping(self, completed):
+        spec, store = completed
+        rows = Aggregator(spec, store).rows(spec.grids[0])
+        # One row per tau; both solvers pivot into *_s columns.
+        assert [row["tau"] for row in rows] == [0.6, 0.7]
+        for row in rows:
+            assert row["repeats"] == 2
+            assert row["iqt_s"] > 0 and row["iqt-c_s"] > 0
+            assert row["iqt_spread"] >= 0 and row["iqt-c_spread"] >= 0
+
+    def test_solver_agreement_column(self, completed):
+        """iqt and iqt-c are exact algorithms: selections must agree,
+        and the aggregator surfaces that like the figure sweeps do."""
+        spec, store = completed
+        rows = Aggregator(spec, store).rows(spec.grids[0])
+        assert all(row["agree"] == "yes" for row in rows)
+
+    def test_partial_campaign_renders_partial_rows(self, completed,
+                                                   tmp_path):
+        spec, store = completed
+        partial = ResultStore(tmp_path / "partial")
+        keys = store.keys()
+        for key in keys[:2]:
+            partial.put(store.get(key))
+        agg = Aggregator(spec, partial)
+        assert 0 < len(agg.rows(spec.grids[0])) <= 2
+        counts = agg.completion()["g1"]
+        assert counts == {"total": 4, "complete": 2}
+        assert len(agg.missing_keys()) == 2
+
+    def test_empty_store_renders_no_rows(self, completed, tmp_path):
+        spec, _ = completed
+        agg = Aggregator(spec, ResultStore(tmp_path / "empty"))
+        assert agg.rows(spec.grids[0]) == []
+        assert agg.tables() == {"g1": []}
+
+
+class TestCompeteRows:
+    def test_capture_series_carries_erosion(self, tmp_path):
+        g = grid("duel", [TINY], solvers=("iqt",), ks=(2,),
+                 workload="compete", series="capture", x="k", repeats=2,
+                 captures=({"model": "evenly-split"},
+                           {"model": "mnl", "mnl_beta": 2.0}))
+        spec = CampaignSpec(name="duel", grids=(g,))
+        store = ResultStore(tmp_path / "store")
+        assert CampaignRunner(spec, store).run().ok
+        rows = Aggregator(spec, store).rows(g)
+        assert len(rows) == 1
+        row = rows[0]
+        for series in ("evenly-split", "mnl"):
+            assert row[f"{series}_s"] > 0
+            assert f"{series}_erosion" in row
+            assert f"{series}_recovered" in row
+
+
+class TestReport:
+    def test_report_writes_tables_and_svg(self, completed, tmp_path):
+        spec, store = completed
+        results_dir = tmp_path / "results"
+        rendered = Aggregator(spec, store).report(
+            results_dir=str(results_dir)
+        )
+        assert set(rendered) == {"g1"}
+        assert "iqt_s" in rendered["g1"]
+        written = {p.name for p in results_dir.iterdir()}
+        assert any(name.endswith(".svg") for name in written)
+        assert any("Tiny_tau_sweep" in name or "tau" in name.lower()
+                   for name in written)
+
+    def test_report_skips_empty_grids(self, completed, tmp_path):
+        spec, _ = completed
+        rendered = Aggregator(spec, ResultStore(tmp_path / "e")).report(
+            results_dir=str(tmp_path / "results")
+        )
+        assert rendered == {}

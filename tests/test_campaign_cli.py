@@ -1,0 +1,129 @@
+"""The `campaign` CLI: run/status/report/clean/smoke end to end.
+
+Everything runs through `main(argv)` in-process against the tiny
+shipped smoke spec (one grid, four points), except the `smoke` action
+which is exercised the way CI invokes it — as a subprocess.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import ResultStore, smoke_spec
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _store(tmp_path):
+    return ResultStore(Path(tmp_path) / "campaigns" / "smoke")
+
+
+def _run(tmp_path, *extra):
+    return main([
+        "campaign", "run", "--spec", "smoke",
+        "--store", str(tmp_path / "campaigns"), *extra,
+    ])
+
+
+class TestRun:
+    def test_run_then_rerun_is_pure_cache(self, tmp_path, capsys):
+        assert _run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "4 executed, 0 cached" in out
+        assert _run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 4 cached" in out
+        assert len(_store(tmp_path).keys()) == 4
+
+    def test_no_resume_re_executes(self, tmp_path, capsys):
+        assert _run(tmp_path) == 0
+        capsys.readouterr()
+        assert _run(tmp_path, "--no-resume") == 0
+        assert "4 executed, 0 cached" in capsys.readouterr().out
+
+    def test_spec_json_path_accepted(self, tmp_path, capsys):
+        spec_path = tmp_path / "my.json"
+        smoke_spec().save_json(spec_path)
+        assert main([
+            "campaign", "run", "--spec", str(spec_path),
+            "--store", str(tmp_path / "campaigns"),
+        ]) == 0
+        assert "4 executed" in capsys.readouterr().out
+
+    def test_unknown_spec_name_is_a_clean_error(self, tmp_path, capsys):
+        assert main([
+            "campaign", "run", "--spec", "nope",
+            "--store", str(tmp_path / "campaigns"),
+        ]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_incomplete_exits_nonzero_and_counts(self, tmp_path, capsys):
+        args = ["campaign", "status", "--spec", "smoke",
+                "--store", str(tmp_path / "campaigns")]
+        assert main(args) == 1
+        assert "0/4 points complete" in capsys.readouterr().out
+        _run(tmp_path)
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "4/4 points complete" in capsys.readouterr().out
+
+    def test_list_missing_prints_keys(self, tmp_path, capsys):
+        assert main([
+            "campaign", "status", "--spec", "smoke",
+            "--store", str(tmp_path / "campaigns"), "--list-missing",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert out.count("missing  smoke-2x2") == 4
+
+
+class TestReportAndClean:
+    def test_report_renders_completed_grid(self, tmp_path, capsys):
+        _run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "campaign", "report", "--spec", "smoke",
+            "--store", str(tmp_path / "campaigns"),
+            "--results-dir", str(tmp_path / "results"), "--no-svg",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "smoke-2x2" in out and "iqt_s" in out
+        assert (tmp_path / "results").is_dir()
+
+    def test_report_on_empty_store_fails(self, tmp_path, capsys):
+        assert main([
+            "campaign", "report", "--spec", "smoke",
+            "--store", str(tmp_path / "campaigns"),
+            "--results-dir", str(tmp_path / "results"),
+        ]) == 1
+        assert "no completed points" in capsys.readouterr().err
+
+    def test_clean_drops_the_store(self, tmp_path, capsys):
+        _run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "campaign", "clean", "--spec", "smoke",
+            "--store", str(tmp_path / "campaigns"),
+        ]) == 0
+        assert "dropped 4" in capsys.readouterr().out
+        assert _store(tmp_path).keys() == []
+
+
+def test_smoke_subcommand_asserts_cache_hits_like_ci(tmp_path):
+    """CI parity: `python -m repro campaign smoke` as a subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "smoke"],
+        capture_output=True, text=True, timeout=580,
+        cwd=tmp_path, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "campaign smoke ok: second pass was 100% cache hits" \
+        in proc.stdout

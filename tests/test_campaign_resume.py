@@ -1,0 +1,121 @@
+"""Kill-and-resume: the acceptance scenario for campaign resumability.
+
+A campaign run is SIGKILLed (whole process group) once some but not all
+points have landed in the store; `campaign run --resume` (the default)
+must then execute exactly the remaining points, and every record's
+deterministic section must be byte-identical to an uninterrupted run's.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, DatasetAxis, ResultStore, grid
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Six points, each slowed to ~0.5 s by repeats so the kill window
+#: between "first point stored" and "all points stored" is wide.
+SLOW_SPEC = CampaignSpec(
+    name="resume-test",
+    grids=(
+        grid(
+            "g1",
+            [DatasetAxis(kind="C", users_frac=0.05, n_candidates=8,
+                         n_facilities=16)],
+            solvers=("iqt",),
+            taus=(0.6, 0.7),
+            ks=(2, 3, 4),
+            x="k",
+            repeats=60,
+        ),
+    ),
+)
+
+
+def _run_cli(spec_path, store_root, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "run",
+         "--spec", str(spec_path), "--store", str(store_root)],
+        capture_output=True, text=True, timeout=timeout,
+        cwd=REPO_ROOT, env=_env(),
+    )
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _deterministic(record):
+    return {part: record[part]
+            for part in ("params", "dataset_hash", "x", "result")}
+
+
+def test_kill_then_resume_completes_exactly_the_remaining_points(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    SLOW_SPEC.save_json(spec_path)
+    store_root = tmp_path / "campaigns"
+    store = ResultStore(store_root / SLOW_SPEC.name)
+
+    # Reference: an uninterrupted run in a separate store.
+    reference_root = tmp_path / "reference"
+    proc = _run_cli(spec_path, reference_root)
+    assert proc.returncode == 0, proc.stderr
+    reference = ResultStore(reference_root / SLOW_SPEC.name)
+    total = len(SLOW_SPEC.points())
+    assert len(reference.keys()) == total
+
+    # Start the real run in its own process group and SIGKILL the group
+    # once at least one point (but not all) has been persisted.
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "run",
+         "--spec", str(spec_path), "--store", str(store_root)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        cwd=REPO_ROOT, env=_env(), start_new_session=True,
+    )
+    try:
+        deadline = time.time() + 240
+        while time.time() < deadline:
+            if len(store.keys()) >= 2:
+                break
+            if victim.poll() is not None:
+                pytest.fail("campaign finished before it could be killed; "
+                            "slow spec is not slow enough")
+            time.sleep(0.02)
+        else:
+            pytest.fail("no point completed before the kill deadline")
+        os.killpg(victim.pid, signal.SIGKILL)
+    finally:
+        victim.wait(timeout=30)
+
+    completed = store.keys()
+    assert 0 < len(completed) < total
+    # The kill can never leave a torn record behind.
+    for key in completed:
+        assert store.get(key)["key"] == key
+    assert not [p for p in store.points_dir.iterdir() if p.suffix != ".json"]
+
+    # Resume executes exactly the remaining points...
+    proc = _run_cli(spec_path, store_root)
+    assert proc.returncode == 0, proc.stderr
+    assert f"{total - len(completed)} executed" in proc.stdout
+    assert f"{len(completed)} cached" in proc.stdout
+    assert store.keys() == reference.keys()
+
+    # ...and every record's deterministic section is byte-identical to
+    # the uninterrupted run's (sorted-keys JSON, so bytes prove it).
+    for key in reference.keys():
+        assert _deterministic(store.get(key)) == \
+            _deterministic(reference.get(key))
+        a = json.loads(store.point_path(key).read_text())
+        b = json.loads(reference.point_path(key).read_text())
+        assert json.dumps(_deterministic(a), sort_keys=True) == \
+            json.dumps(_deterministic(b), sort_keys=True)

@@ -1,0 +1,150 @@
+"""Campaign runner: memoized planning, incremental re-runs, isolation.
+
+All grids here are tiny (the smoke population: 5% users, 8-12
+candidates) so inline runs complete in seconds; the worker-pool path is
+exercised once with 2 workers and once under an impossible timeout.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    DatasetAxis,
+    ResultStore,
+    execute_point,
+    grid,
+    plan_campaign,
+)
+from repro.exceptions import CampaignError
+
+TINY = DatasetAxis(kind="C", users_frac=0.05, n_candidates=8,
+                   n_facilities=16)
+
+
+def _spec(ks=(2, 3), taus=(0.7,), name="t", **kwargs):
+    g = grid("g1", [TINY], solvers=("iqt",), taus=taus, ks=ks, x="k",
+             repeats=2, **kwargs)
+    return CampaignSpec(name=name, grids=(g,))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestPlanning:
+    def test_fresh_store_plans_everything(self, store):
+        plan = plan_campaign(_spec(), store)
+        assert len(plan.tasks) == 2
+        assert plan.cached == []
+        assert plan.total == 2
+
+    def test_resume_false_replans_completed_points(self, store):
+        CampaignRunner(_spec(), store).run()
+        plan = plan_campaign(_spec(), store, resume=False)
+        assert len(plan.tasks) == 2
+        assert plan.cached == []
+
+
+class TestInlineRuns:
+    def test_run_executes_and_persists_every_point(self, store):
+        report = CampaignRunner(_spec(), store).run()
+        assert report.ok
+        assert (report.total, report.executed, report.cached) == (2, 2, 0)
+        assert len(store.keys()) == 2
+        for record in store.records():
+            assert record["timing"]["repeats"] == 2
+            assert len(record["result"]["selected"]) == record["params"]["k"]
+
+    def test_second_run_is_pure_cache(self, store):
+        CampaignRunner(_spec(), store).run()
+        report = CampaignRunner(_spec(), store).run()
+        assert (report.executed, report.cached) == (0, 2)
+
+    def test_grid_extension_reuses_prior_points(self, store):
+        CampaignRunner(_spec(ks=(2,)), store).run()
+        report = CampaignRunner(_spec(ks=(2, 3)), store).run()
+        assert (report.executed, report.cached) == (1, 1)
+        # And the original point's record is untouched.
+        assert len(store.keys()) == 2
+
+    def test_records_are_deterministic_across_runs(self, store, tmp_path):
+        """Two independent stores produce byte-identical deterministic
+        sections (params/dataset_hash/x/result) for every point."""
+        other = ResultStore(tmp_path / "other")
+        CampaignRunner(_spec(), store).run()
+        CampaignRunner(_spec(), other).run()
+        assert store.keys() == other.keys()
+        for key in store.keys():
+            a, b = store.get(key), other.get(key)
+            for part in ("params", "dataset_hash", "x", "result"):
+                assert a[part] == b[part], part
+
+    def test_progress_messages_emitted(self, store):
+        lines = []
+        CampaignRunner(_spec(), store).run(progress=lines.append)
+        assert any("2 to run" in line for line in lines)
+        assert sum("ok" in line for line in lines) == 2
+
+
+class TestExecutePoint:
+    def test_expected_key_contradiction_refused(self, store):
+        task = plan_campaign(_spec(), store).tasks[0]
+        with pytest.raises(CampaignError, match="key mismatch"):
+            execute_point(task.grid, task.params, expected_key="f" * 32)
+
+    def test_compete_workload_records_round(self):
+        g = grid("duel", [TINY], solvers=("iqt",), ks=(2,),
+                 workload="compete", series="capture", repeats=2,
+                 captures=({"model": "evenly-split"},))
+        spec = CampaignSpec(name="d", grids=(g,))
+        _, point = spec.points()[0]
+        record = execute_point("duel", point.params(), campaign="d")
+        assert set(record["result"]) >= {
+            "leader_initial", "rival_selected", "erosion", "recovered",
+        }
+        assert record["timing"]["repeats"] == 2
+
+
+class TestWorkerPool:
+    def test_pool_run_matches_inline_records(self, store, tmp_path):
+        inline = ResultStore(tmp_path / "inline")
+        CampaignRunner(_spec(), inline).run()
+        report = CampaignRunner(_spec(), store, workers=2).run()
+        assert report.ok and report.executed == 2
+        assert store.keys() == inline.keys()
+        for key in store.keys():
+            a, b = store.get(key), inline.get(key)
+            for part in ("params", "dataset_hash", "x", "result"):
+                assert a[part] == b[part], part
+
+    def test_timeout_fails_points_without_storing_them(self, store):
+        # ~1s of repeats per point, so a 0.1s deadline reliably fires.
+        slow = CampaignSpec(
+            name="slow",
+            grids=(grid("g1", [TINY], solvers=("iqt",), ks=(2, 3), x="k",
+                        repeats=120),),
+        )
+        report = CampaignRunner(slow, store, workers=1, timeout_s=0.1).run()
+        assert not report.ok
+        assert len(report.failed) == 2
+        assert all("timeout" in reason for _, _, reason in report.failed)
+        assert store.keys() == []
+        failures = (store.root / "failures.jsonl").read_text().splitlines()
+        assert len(failures) == 2
+
+    def test_failed_points_retry_on_next_run(self, store):
+        slow = CampaignSpec(
+            name="slow",
+            grids=(grid("g1", [TINY], solvers=("iqt",), ks=(2,), x="k",
+                        repeats=120),),
+        )
+        CampaignRunner(slow, store, workers=1, timeout_s=0.1).run()
+        assert store.keys() == []
+        report = CampaignRunner(slow, store, workers=1).run()
+        assert report.ok and report.executed == 1
+
+    def test_negative_workers_rejected(self, store):
+        with pytest.raises(CampaignError, match="workers"):
+            CampaignRunner(_spec(), store, workers=-1)

@@ -1,0 +1,130 @@
+"""Result store: atomic point records, byte-identity, the hash memo."""
+
+import json
+
+import pytest
+
+from repro.campaign import DatasetAxis, ResultStore
+from repro.exceptions import CampaignError
+
+KEY = "a" * 32
+
+
+def _record(key=KEY, **extra):
+    record = {
+        "schema": 1,
+        "key": key,
+        "grid": "g",
+        "params": {"solver": "iqt", "k": 3},
+        "result": {"selected": [1, 2, 3]},
+        "timing": {"median_s": 0.1},
+    }
+    record.update(extra)
+    return record
+
+
+class TestPoints:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(_record())
+        assert store.has(KEY)
+        assert store.get(KEY) == _record()
+        assert store.keys() == [KEY]
+
+    def test_missing_key_is_absent(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        assert not store.has(KEY)
+        assert store.keys() == []
+
+    def test_record_without_key_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="no key"):
+            ResultStore(tmp_path / "s").put({"grid": "g"})
+
+    def test_mislabeled_record_rejected_on_read(self, tmp_path):
+        """A record claiming a different key than its filename is
+        corruption, never silently served."""
+        store = ResultStore(tmp_path / "s")
+        store.put(_record())
+        path = store.point_path(KEY)
+        tampered = json.loads(path.read_text())
+        tampered["key"] = "b" * 32
+        path.write_text(json.dumps(tampered))
+        with pytest.raises(CampaignError, match="claims key"):
+            store.get(KEY)
+
+    def test_same_record_writes_byte_identical_files(self, tmp_path):
+        """Sorted-keys serialisation: equal records -> equal bytes (the
+        resume test's byte-identity criterion rests on this)."""
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        a.put(_record())
+        # Same content, different dict insertion order.
+        scrambled = dict(reversed(list(_record().items())))
+        b.put(scrambled)
+        assert a.point_path(KEY).read_bytes() == b.point_path(KEY).read_bytes()
+
+    def test_no_temp_files_survive_a_put(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(_record())
+        leftovers = [p for p in store.points_dir.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_put_replaces_wholesale(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(_record())
+        store.put(_record(timing={"median_s": 0.2}))
+        assert store.get(KEY)["timing"] == {"median_s": 0.2}
+
+    def test_clean_drops_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(_record())
+        store.save_spec({"name": "s"})
+        store.log_failure(KEY, "g", "boom")
+        store.dataset_hash(DatasetAxis(kind="C", users_frac=0.05,
+                                       n_candidates=8, n_facilities=16))
+        assert store.clean() == 1
+        assert store.keys() == []
+        assert not (store.root / "spec.json").exists()
+        assert not (store.root / "failures.jsonl").exists()
+        assert not (store.root / "dataset_hashes.json").exists()
+
+    def test_failure_log_appends(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.log_failure(KEY, "g", "timeout")
+        store.log_failure("b" * 32, "g", "crash")
+        lines = (store.root / "failures.jsonl").read_text().splitlines()
+        assert [json.loads(l)["reason"] for l in lines] == ["timeout", "crash"]
+
+
+class TestDatasetHashMemo:
+    AXIS = DatasetAxis(kind="C", users_frac=0.05, n_candidates=8,
+                       n_facilities=16)
+
+    def test_memo_persists_across_store_instances(self, tmp_path):
+        first = ResultStore(tmp_path / "s").dataset_hash(self.AXIS)
+        memo = json.loads((tmp_path / "s" / "dataset_hashes.json").read_text())
+        assert list(memo.values()) == [first]
+        # A fresh instance reads the memo instead of rebuilding.
+        again = ResultStore(tmp_path / "s")
+        assert again.dataset_hash(self.AXIS) == first
+
+    def test_memo_is_an_optimisation_not_a_truth_source(self, tmp_path,
+                                                        monkeypatch):
+        """With a memo hit the dataset is never built; the executor's
+        expected_key re-derivation is what keeps stale memos honest."""
+        store = ResultStore(tmp_path / "s")
+        content = store.dataset_hash(self.AXIS)
+        monkeypatch.setattr(
+            DatasetAxis, "build",
+            lambda self: (_ for _ in ()).throw(AssertionError("rebuilt")),
+        )
+        assert ResultStore(tmp_path / "s").dataset_hash(self.AXIS) == content
+
+    def test_distinct_axes_get_distinct_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        a = store.axis_param_hash(self.AXIS)
+        b = store.axis_param_hash(DatasetAxis(kind="C", users_frac=0.06,
+                                              n_candidates=8,
+                                              n_facilities=16))
+        assert a != b

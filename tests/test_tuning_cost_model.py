@@ -80,6 +80,35 @@ class TestCalibration:
         assert back.select_coeff == model.select_coeff
         assert back.hit_seconds == model.hit_seconds
 
+    def test_calibrate_fits_capture_select_coefficients(self):
+        model = CostModel.calibrate(scales=((40, 6),), repeats=1)
+        assert set(model.capture_select_coeff) == {"mnl", "fixed-worlds"}
+        features = cost_features(california_like(
+            n_users=60, n_candidates=8, n_facilities=16, seed=0
+        ))
+        for name in ("mnl", "fixed-worlds"):
+            assert model.select_seconds(features, 3, capture_model=name) > 0
+
+    def test_capture_coefficients_round_trip(self):
+        model = _toy_model()
+        model = CostModel(
+            resolve_coeff=model.resolve_coeff,
+            select_coeff=model.select_coeff,
+            hit_seconds=model.hit_seconds,
+            capture_select_coeff={"mnl": (0.5, 0.0)},
+            calibrated_worlds=16,
+        )
+        back = CostModel.from_dict(model.as_dict())
+        assert back == model
+
+    def test_old_serialisations_load_without_capture_coefficients(self):
+        old = _toy_model().as_dict()
+        del old["capture_select_coeff"]
+        del old["calibrated_worlds"]
+        back = CostModel.from_dict(old)
+        assert back.capture_select_coeff == {}
+        assert back.calibrated_worlds == 8
+
 
 # ----------------------------------------------------------------------
 # Trace cost prediction (the cache simulation)
@@ -127,6 +156,66 @@ class TestPredictTrace:
         # Non-incremental republish re-resolves after each publish.
         assert dropped.resolves > incremental.resolves
         assert dropped.total_s > incremental.total_s
+
+    def test_capture_model_routes_to_its_own_coefficient(self):
+        """A set-aware capture model with a calibrated CELF fit must be
+        priced by that fit, not the kernel fit; models without one keep
+        the kernel fallback."""
+        base = _toy_model()
+        fitted = CostModel(
+            resolve_coeff=base.resolve_coeff,
+            select_coeff=base.select_coeff,
+            hit_seconds=base.hit_seconds,
+            capture_select_coeff={"mnl": (0.010, 0.0)},  # 10x the kernel fit
+        )
+        features = {"n_users": 50, "verify_pairs": 100}
+        kernel = fitted.select_seconds(features, 3)
+        assert fitted.select_seconds(features, 3, capture_model="mnl") == \
+            pytest.approx(10 * kernel)
+        # huff has no CELF fit: falls back to the kernel coefficient.
+        assert fitted.select_seconds(features, 3, capture_model="huff") == \
+            pytest.approx(kernel)
+
+    def test_fixed_worlds_cost_scales_from_calibrated_worlds(self):
+        base = _toy_model()
+        fitted = CostModel(
+            resolve_coeff=base.resolve_coeff,
+            select_coeff=base.select_coeff,
+            hit_seconds=base.hit_seconds,
+            capture_select_coeff={"fixed-worlds": (0.004, 0.0)},
+            calibrated_worlds=8,
+        )
+        trace = record_canned("cold-start", None, **SMALL)
+        for event in trace.events:
+            if event.kind == "query":
+                event.query["capture"] = {
+                    "model": "fixed-worlds", "mnl_beta": 2.0,
+                    "worlds": 16, "world_seed": 0,
+                }
+        narrow = fitted.predict_trace(trace, EngineConfig(worlds=8))
+        wide = fitted.predict_trace(trace, EngineConfig(worlds=32))
+        # 8 worlds = the calibrated cost, 32 worlds = 4x of it.
+        assert wide.total_s > narrow.total_s
+        resolves = narrow.resolves
+        assert (wide.total_s - narrow.total_s) == pytest.approx(
+            narrow.queries * (32 / 8 - 1) * 0.004, rel=1e-6
+        )
+        assert resolves == wide.resolves
+
+    def test_mnl_queries_priced_by_celf_fit_in_simulation(self):
+        trace = record_canned("cold-start", None, **SMALL)
+        for event in trace.events:
+            if event.kind == "query":
+                event.query["capture"] = {"model": "mnl", "mnl_beta": 2.0}
+        base = _toy_model()
+        fitted = CostModel(
+            resolve_coeff=base.resolve_coeff,
+            select_coeff=base.select_coeff,
+            hit_seconds=base.hit_seconds,
+            capture_select_coeff={"mnl": (0.010, 0.0)},
+        )
+        assert fitted.predict_trace(trace, EngineConfig()).total_s > \
+            base.predict_trace(trace, EngineConfig()).total_s
 
     def test_scalar_kernel_override_costs_more(self):
         trace = record_canned("cold-start", None, **SMALL)

@@ -12,7 +12,11 @@ from repro.tuning import (
     WorkloadTrace,
     record_canned,
 )
-from repro.tuning.tuner import _memory_proxy
+from repro.tuning.tuner import (
+    DEFAULT_SEARCH_SPACE,
+    _memory_proxy,
+    default_search_space,
+)
 
 SMALL = dict(n_users=50, n_candidates=8, n_facilities=16, seed=3)
 
@@ -24,6 +28,7 @@ TINY_SPACE = {
     "max_workers": (1,),
     "batch_verify": (None,),
     "fast_select": (None,),
+    "shard_workers": (0,),  # pin: the default grid adds it on multi-core
 }
 
 
@@ -55,6 +60,39 @@ class TestCandidates:
         small = EngineConfig(prepared_cache_size=8, result_cache_size=64)
         big = EngineConfig(prepared_cache_size=64, result_cache_size=64)
         assert _memory_proxy(small) < _memory_proxy(big)
+
+    def test_shard_workers_imply_sharded_execution(self, bursty_trace):
+        space = dict(TINY_SPACE, shard_workers=(0, 2))
+        tuner = KnobTuner(
+            bursty_trace, cost_model=_toy_model(), search_space=space
+        )
+        by_workers = {c.shard_workers: c for c in tuner.candidates()
+                      if c.prepared_cache_size == 8}
+        assert by_workers[0].execution == "threaded"
+        assert by_workers[2].execution == "sharded"
+
+
+class TestDefaultSearchSpace:
+    def test_multi_core_searches_shard_workers(self, monkeypatch):
+        monkeypatch.setattr("repro.tuning.tuner.os.cpu_count", lambda: 4)
+        space = default_search_space()
+        assert space["shard_workers"] == (0, 2, 4)
+        # The machine-independent knobs are unchanged.
+        for key, values in DEFAULT_SEARCH_SPACE.items():
+            assert space[key] == values
+
+    def test_single_core_excludes_shard_workers(self, monkeypatch):
+        monkeypatch.setattr("repro.tuning.tuner.os.cpu_count", lambda: 1)
+        assert "shard_workers" not in default_search_space()
+
+    def test_unknown_core_count_excludes_shard_workers(self, monkeypatch):
+        monkeypatch.setattr("repro.tuning.tuner.os.cpu_count", lambda: None)
+        assert "shard_workers" not in default_search_space()
+
+    def test_tuner_picks_up_machine_grid(self, bursty_trace, monkeypatch):
+        monkeypatch.setattr("repro.tuning.tuner.os.cpu_count", lambda: 4)
+        tuner = KnobTuner(bursty_trace, cost_model=_toy_model())
+        assert tuner.search_space["shard_workers"] == (0, 2, 4)
 
 
 class TestTune:
